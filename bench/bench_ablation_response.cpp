@@ -1,0 +1,74 @@
+// Ablation: the probabilistic response variants (Sec. V-C).
+//
+// Compares deterministic response (always reply), the sigmoid fallback
+// (Eq. 4, several p_min/p_max anchors) and the path-weight variant
+// p_CR(T_q - t_0), on the MIT Reality trace. The metric of interest is the
+// ACCESSIBILITY / OVERHEAD trade-off: successful ratio vs duplicate
+// (wasted) data deliveries and bytes transferred.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "experiment/experiment.h"
+#include "trace/synthetic.h"
+
+using namespace dtn;
+
+namespace {
+
+struct Variant {
+  const char* label;
+  ResponseMode mode;
+  SigmoidResponse sigmoid;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header(
+      "Ablation: probabilistic response variants (MIT Reality, K=8, "
+      "T_L=1wk)");
+
+  const double trace_days = args.days > 0 ? args.days : (args.fast ? 30 : 60);
+  const ContactTrace trace =
+      generate_trace(mit_reality_preset().with_duration(days(trace_days)));
+
+  const Variant variants[] = {
+      {"always", ResponseMode::kAlways, {}},
+      {"sigmoid(.45,.80)", ResponseMode::kSigmoid, {0.45, 0.8}},
+      {"sigmoid(.30,.50)", ResponseMode::kSigmoid, {0.30, 0.5}},
+      {"sigmoid(.55,1.0)", ResponseMode::kSigmoid, {0.55, 1.0}},
+      {"path-weight", ResponseMode::kPathWeight, {}},
+  };
+
+  TextTable table({"variant", "success ratio", "delay (h)", "GB transferred",
+                   "duplicate deliveries"});
+  for (const Variant& variant : variants) {
+    ExperimentConfig config;
+    config.avg_lifetime = weeks(1);
+    config.avg_data_size = megabits(100);
+    config.ncl_count = 8;
+    config.response_mode = variant.mode;
+    config.sigmoid = variant.sigmoid;
+    config.repetitions = args.reps;
+    config.sim.maintenance_interval = days(1);
+
+    const ExperimentResult r =
+        run_experiment(trace, SchemeKind::kNclCache, config);
+    table.begin_row();
+    table.add_cell(variant.label);
+    table.add_number(r.success_ratio.mean(), 3);
+    table.add_number(r.delay_hours.mean(), 1);
+    table.add_number(r.gigabytes_transferred.mean(), 2);
+    table.add_number(r.duplicate_deliveries.mean(), 0);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: 'always' marks the accessibility ceiling; the sigmoid\n"
+      "suppresses responses uniformly and loses ratio; the path-weight\n"
+      "variant recovers most of the ceiling because it only suppresses\n"
+      "responses that were unlikely to arrive in time — the tradeoff\n"
+      "Sec. V-C aims for.\n");
+  return 0;
+}

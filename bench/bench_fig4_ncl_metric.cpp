@@ -1,0 +1,73 @@
+// Reproduces Figure 4: the distribution of NCL selection metric values on
+// each trace, validating that the metric is highly skewed — a few nodes are
+// far better connected than the rest, so a small K covers the network.
+//
+// The paper uses T = 1 h (Infocom05/06), 1 week (MIT Reality), 3 days
+// (UCSD), chosen "adaptively ... to ensure the differentiation of the NCL
+// selection metric values". We report both the paper's T and our
+// auto-calibrated T (median metric = 0.3) for each trace.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "graph/ncl.h"
+#include "trace/synthetic.h"
+
+using namespace dtn;
+
+namespace {
+
+void report(const std::string& name, const ContactTrace& trace, Time paper_t) {
+  const ContactGraph graph = build_contact_graph(trace, -1.0, 2);
+
+  TextTable table({"T", "max", "p90", "median", "p10", "max/median", "gini"});
+  for (int variant = 0; variant < 2; ++variant) {
+    const Time horizon =
+        variant == 0 ? paper_t : calibrate_horizon(graph, 0.3);
+    std::vector<double> metrics = ncl_metrics(graph, horizon);
+    std::vector<double> sorted = metrics;
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    table.begin_row();
+    table.add_cell((variant == 0 ? "paper " : "auto ") +
+                   format_duration(horizon));
+    table.add_number(sorted.back(), 3);
+    table.add_number(percentile(sorted, 0.9), 3);
+    table.add_number(median, 3);
+    table.add_number(percentile(sorted, 0.1), 3);
+    table.add_number(median > 0 ? sorted.back() / median : 0.0, 2);
+    table.add_number(gini(metrics), 3);
+  }
+  std::printf("--- %s (N=%d) ---\n%s\n", name.c_str(), trace.node_count(),
+              table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Figure 4: NCL selection metric distributions");
+
+  // Shortened trace slices keep the bench fast; rates (and therefore the
+  // metric) are duration-invariant in the generator.
+  const double mit_days = args.days > 0 ? args.days : (args.fast ? 20 : 60);
+  const double ucsd_days = args.days > 0 ? args.days : (args.fast ? 10 : 25);
+
+  report("Infocom05", generate_trace(infocom05_preset()), hours(1));
+  report("Infocom06", generate_trace(infocom06_preset()), hours(1));
+  report("MITReality",
+         generate_trace(mit_reality_preset().with_duration(days(mit_days))),
+         weeks(1));
+  report("UCSD",
+         generate_trace(ucsd_preset().with_duration(days(ucsd_days))),
+         days(3));
+
+  std::printf(
+      "Reading: in every trace the top nodes' metric is a large multiple of\n"
+      "the median (max/median column) — the skew Fig. 4 validates. With the\n"
+      "paper's fixed T the dense conference traces saturate towards 1;\n"
+      "the adaptive T restores differentiation, as Sec. IV-B prescribes.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Microbenchmarks (google-benchmark) for the computational kernels:
+// hypoexponential CDF evaluation, opportunistic-path Dijkstra, the
+// replacement knapsack DP, the exchange planner and workload sampling.
+#include <benchmark/benchmark.h>
+
+#include "cache/knapsack.h"
+#include "cache/replacement.h"
+#include "common/rng.h"
+#include "graph/all_pairs.h"
+#include "graph/hypoexp.h"
+#include "graph/ncl.h"
+#include "graph/opportunistic_path.h"
+#include "trace/synthetic.h"
+#include "workload/zipf.h"
+
+namespace dtn {
+namespace {
+
+std::vector<double> random_rates(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> rates(n);
+  for (auto& r : rates) r = rng.uniform(0.05, 5.0);
+  return rates;
+}
+
+void BM_HypoexpClosedForm(benchmark::State& state) {
+  const auto rates = random_rates(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hypoexp_cdf_closed_form(rates, 2.0));
+  }
+}
+BENCHMARK(BM_HypoexpClosedForm)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_HypoexpUniformization(benchmark::State& state) {
+  const auto rates = random_rates(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hypoexp_cdf_uniformization(rates, 2.0));
+  }
+}
+BENCHMARK(BM_HypoexpUniformization)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_HypoexpDispatch(benchmark::State& state) {
+  const auto rates = random_rates(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hypoexp_cdf(rates, 2.0));
+  }
+}
+BENCHMARK(BM_HypoexpDispatch)->Arg(2)->Arg(4)->Arg(8);
+
+ContactGraph random_graph(NodeId n, double edge_prob, std::uint64_t seed) {
+  Rng rng(seed);
+  ContactGraph g(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(edge_prob)) g.set_rate(i, j, rng.uniform(0.01, 2.0));
+    }
+  }
+  return g;
+}
+
+void BM_OpportunisticDijkstra(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  const ContactGraph g = random_graph(n, 0.3, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_opportunistic_paths(g, 0, 2.0));
+  }
+}
+BENCHMARK(BM_OpportunisticDijkstra)->Arg(32)->Arg(97)->Arg(275);
+
+void BM_NclMetrics(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  const ContactGraph g = random_graph(n, 0.3, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ncl_metrics(g, 2.0));
+  }
+}
+BENCHMARK(BM_NclMetrics)->Arg(32)->Arg(97);
+
+void BM_AllPairsPaths(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  const ContactGraph g = random_graph(n, 0.3, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AllPairsPaths(g, 2.0));
+  }
+}
+BENCHMARK(BM_AllPairsPaths)->Arg(32)->Arg(97);
+
+void BM_KnapsackDp(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<KnapsackItem> items;
+  for (int i = 0; i < state.range(0); ++i) {
+    items.push_back({rng.uniform(), rng.uniform_int(1 << 20, 20 << 20)});
+  }
+  const Bytes capacity = 600LL << 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_knapsack(items, capacity));
+  }
+}
+BENCHMARK(BM_KnapsackDp)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_PlanReplacement(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<ReplacementItem> pool;
+  for (int i = 0; i < state.range(0); ++i) {
+    ReplacementItem item;
+    item.id = i;
+    item.size = rng.uniform_int(1 << 20, 20 << 20);
+    item.popularity = rng.uniform();
+    item.at_a = rng.bernoulli(0.5);
+    pool.push_back(item);
+  }
+  ReplacementConfig config;
+  for (auto _ : state) {
+    Rng trial_rng(11);
+    benchmark::DoNotOptimize(plan_replacement(pool, 300LL << 20, 300LL << 20,
+                                              0.7, 0.4, config, trial_rng));
+  }
+}
+BENCHMARK(BM_PlanReplacement)->Arg(8)->Arg(32);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const ZipfDistribution zipf(static_cast<std::size_t>(state.range(0)), 1.0);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(100)->Arg(10000);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  SyntheticTraceConfig config;
+  config.node_count = static_cast<NodeId>(state.range(0));
+  config.duration = days(10);
+  config.target_total_contacts = 20000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_trace(config));
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Arg(50)->Arg(97);
+
+}  // namespace
+}  // namespace dtn
+
+BENCHMARK_MAIN();

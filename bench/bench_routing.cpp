@@ -1,0 +1,57 @@
+// Supplementary bench: the classic DTN unicast protocols on the MIT
+// Reality trace — the forwarding substrate the paper's related-work section
+// surveys. Positions the gradient forwarding used inside the NCL caching
+// scheme among the classics (single-copy cost, multi-copy delivery).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "routing/engine.h"
+#include "routing/protocols.h"
+#include "trace/synthetic.h"
+
+using namespace dtn;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header(
+      "DTN unicast routing comparison (MIT Reality, 10Mb messages, TTL 2d)");
+
+  const double trace_days = args.days > 0 ? args.days : (args.fast ? 30 : 60);
+  const ContactTrace trace =
+      generate_trace(mit_reality_preset().with_duration(days(trace_days)));
+
+  RoutingExperimentConfig config;
+  config.message_count = args.fast ? 100 : 300;
+  config.message_size = megabits(10);
+  config.ttl = days(2);
+
+  std::vector<std::unique_ptr<Router>> routers;
+  routers.push_back(std::make_unique<DirectDeliveryRouter>(trace.node_count()));
+  routers.push_back(std::make_unique<GradientRouter>(trace.node_count()));
+  routers.push_back(std::make_unique<ProphetRouter>(trace.node_count()));
+  routers.push_back(
+      std::make_unique<SprayAndWaitRouter>(trace.node_count(), 8));
+  routers.push_back(std::make_unique<EpidemicRouter>(trace.node_count()));
+
+  TextTable table({"protocol", "delivery ratio", "mean delay (h)",
+                   "transmissions/msg"});
+  for (auto& router : routers) {
+    const RoutingResult r = run_routing(trace, *router, config);
+    table.begin_row();
+    table.add_cell(r.protocol);
+    table.add_number(r.delivery_ratio, 3);
+    table.add_number(r.mean_delay_hours, 1);
+    table.add_number(r.transmissions_per_message, 1);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: epidemic bounds delivery from above at maximal cost;\n"
+      "spray-and-wait buys most of that ratio at a fixed copy budget; the\n"
+      "single-copy schemes (gradient, PROPHET) sit between direct delivery\n"
+      "and spray — gradient is the forwarding primitive the NCL caching\n"
+      "scheme builds its push, query and reply legs on.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared helpers for the figure/table benches: command-line scaling flags
+// so the suite finishes quickly by default yet can be run at paper scale.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace dtn::bench {
+
+/// Parses "--reps N" and "--days D" style flags; unknown flags abort with
+/// a usage message so typos do not silently run the default.
+struct BenchArgs {
+  int reps = 2;
+  double days = 0.0;  ///< 0 = bench-specific default
+  bool fast = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+        args.reps = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
+        args.days = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--fast") == 0) {
+        args.fast = true;
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--reps N] [--days D] [--fast]\n", argv[0]);
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+inline void print_header(const std::string& title) {
+  std::printf("==== %s ====\n", title.c_str());
+}
+
+}  // namespace dtn::bench

@@ -1,0 +1,52 @@
+// Content sharing among smartphones at a conference (the paper's first
+// motivating application): attendees generate digital content — talk
+// slides, photos, podcasts — and peers discover and fetch it entirely over
+// opportunistic Bluetooth contacts, with no infrastructure.
+//
+// Scenario: an Infocom06-like contact pattern; popular content (Zipf s=1.5,
+// stronger skew than the default: hot talks dominate), short lifetimes
+// (content is stale after a few hours). Compares all five schemes.
+#include <cstdio>
+
+#include "common/table.h"
+#include "experiment/experiment.h"
+#include "trace/synthetic.h"
+
+using namespace dtn;
+
+int main() {
+  std::printf("=== Conference content sharing over Bluetooth ===\n\n");
+
+  // Two conference days; contacts mirror Infocom06 density.
+  const ContactTrace trace =
+      generate_trace(infocom06_preset().with_duration(days(2)));
+  const TraceSummary s = summarize(trace);
+  std::printf("attendees: %d, contacts: %zu over %.1f days\n\n", s.devices,
+              s.internal_contacts, s.duration_days);
+
+  ExperimentConfig config;
+  config.avg_lifetime = hours(3);        // slides go stale quickly
+  config.avg_data_size = megabits(50);   // a slide deck / short clip
+  config.zipf_exponent = 1.5;            // keynote content is hot
+  config.ncl_count = 5;                  // the paper's best K for Infocom06
+  config.repetitions = 3;
+  config.sim.maintenance_interval = hours(1);
+
+  TextTable table({"scheme", "success ratio", "delay (min)", "copies/item"});
+  for (SchemeKind kind :
+       {SchemeKind::kNclCache, SchemeKind::kNoCache, SchemeKind::kRandomCache,
+        SchemeKind::kCacheData, SchemeKind::kBundleCache}) {
+    const ExperimentResult r = run_experiment(trace, kind, config);
+    table.begin_row();
+    table.add_cell(r.scheme);
+    table.add_number(r.success_ratio.mean(), 3);
+    table.add_number(r.delay_hours.mean() * 60.0, 1);
+    table.add_number(r.copies_per_item.mean(), 2);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "The five most sociable attendees act as rendezvous points: content\n"
+      "is pushed to them as it appears, and anyone can fetch it from the\n"
+      "nearest one within a coffee break.\n");
+  return 0;
+}

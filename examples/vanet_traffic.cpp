@@ -1,0 +1,62 @@
+// Live traffic information in a vehicular ad-hoc network (the paper's
+// second motivating application): vehicles generate reports about road
+// segments ("accident on I-99 northbound"); nearby vehicles query for the
+// segments ahead of them. Reports are small, expire quickly, and demand
+// low access delay.
+//
+// The contact pattern is a custom synthetic config: taxis and buses that
+// criss-cross the city act as hubs (heavy-tailed popularity), most vehicle
+// pairs never meet, and contacts are short (drive-by DSRC bursts).
+#include <cstdio>
+
+#include "common/table.h"
+#include "experiment/experiment.h"
+#include "trace/synthetic.h"
+
+using namespace dtn;
+
+int main() {
+  std::printf("=== VANET live traffic information ===\n\n");
+
+  SyntheticTraceConfig trace_config;
+  trace_config.name = "vanet";
+  trace_config.node_count = 120;          // vehicles in a district
+  trace_config.duration = days(2);
+  trace_config.target_total_contacts = 40000;
+  trace_config.popularity_shape = 1.3;    // buses/taxis meet far more peers
+  trace_config.pair_fraction = 0.2;       // most pairs never share a road
+  trace_config.mean_contact_duration = 30.0;  // drive-by contact
+  trace_config.granularity = 10.0;
+  trace_config.seed = 77;
+  const ContactTrace trace = generate_trace(trace_config);
+  const TraceSummary s = summarize(trace);
+  std::printf("vehicles: %d, drive-by contacts: %zu over %.1f days\n\n",
+              s.devices, s.internal_contacts, s.duration_days);
+
+  ExperimentConfig config;
+  config.avg_lifetime = minutes(45);      // traffic reports go stale fast
+  config.avg_data_size = megabits(2);     // a report with a short video clip
+  config.buffer_min = megabits(50);       // on-board unit storage
+  config.buffer_max = megabits(100);
+  config.ncl_count = 6;                   // well-travelled vehicles
+  config.repetitions = 3;
+  config.sim.maintenance_interval = minutes(30);
+  config.sim.bandwidth_per_second = megabits(6);  // DSRC-class link
+
+  TextTable table({"scheme", "success ratio", "delay (min)", "copies/item"});
+  for (SchemeKind kind :
+       {SchemeKind::kNclCache, SchemeKind::kNoCache, SchemeKind::kRandomCache}) {
+    const ExperimentResult r = run_experiment(trace, kind, config);
+    table.begin_row();
+    table.add_cell(r.scheme);
+    table.add_number(r.success_ratio.mean(), 3);
+    table.add_number(r.delay_hours.mean() * 60.0, 1);
+    table.add_number(r.copies_per_item.mean(), 2);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reports cached at the most-travelled vehicles reach drivers while\n"
+      "the information is still actionable; waiting for the original\n"
+      "reporter to drive by rarely beats the report's expiry.\n");
+  return 0;
+}

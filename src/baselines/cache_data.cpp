@@ -1,0 +1,34 @@
+#include "baselines/cache_data.h"
+
+#include <algorithm>
+
+namespace dtn {
+
+void CacheDataScheme::on_response_relayed(SimServices& services, NodeId relay,
+                                          const Query& query) {
+  // Cache pass-by data when the relay's local query history says it is
+  // popular; the relay may not cache data it has never seen queried
+  // (popularity 0 loses every eviction comparison, so try_cache admits it
+  // only into free space).
+  try_cache(services, relay, services.data(query.data));
+}
+
+std::vector<DataId> CacheDataScheme::eviction_order(SimServices& services,
+                                                    NodeId node,
+                                                    const DataItem& incoming) {
+  const double incoming_popularity = popularity_of(services, node, incoming.id);
+  const auto& entries = state(node).entries;
+  std::vector<std::pair<double, DataId>> ranked;
+  ranked.reserve(entries.size());
+  for (const auto& [id, entry] : entries) {
+    const double p = popularity_of(services, node, id);
+    if (p < incoming_popularity) ranked.emplace_back(p, id);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<DataId> order;
+  order.reserve(ranked.size());
+  for (const auto& [p, id] : ranked) order.push_back(id);
+  return order;
+}
+
+}  // namespace dtn

@@ -1,0 +1,31 @@
+// CacheData baseline — the cooperative caching scheme of Yin & Cao for
+// wireless ad-hoc networks, transplanted to the DTN setting (Sec. VI):
+// every relay on a response path caches the pass-by data according to its
+// popularity. In a connected MANET the relay sits on a stable query route
+// and sees the query history; in a DTN it only sees the queries that happen
+// to be flooded through it, which is why the paper finds it "inappropriate
+// to be used in DTNs".
+#pragma once
+
+#include "baselines/flooding_base.h"
+
+namespace dtn {
+
+class CacheDataScheme : public FloodingSchemeBase {
+ public:
+  explicit CacheDataScheme(FloodingConfig config)
+      : FloodingSchemeBase(std::move(config)) {}
+
+  std::string name() const override { return "CacheData"; }
+
+ protected:
+  void on_response_relayed(SimServices& services, NodeId relay,
+                           const Query& query) override;
+
+  /// Popularity-based eviction: least popular first; never evicts entries
+  /// more popular than the incoming item.
+  std::vector<DataId> eviction_order(SimServices& services, NodeId node,
+                                     const DataItem& incoming) override;
+};
+
+}  // namespace dtn

@@ -1,0 +1,20 @@
+// NoCache baseline (Sec. VI): no caching at all — every query is answered
+// only by the data source; queries are flooded until they find it.
+#pragma once
+
+#include "baselines/flooding_base.h"
+
+namespace dtn {
+
+class NoCacheScheme : public FloodingSchemeBase {
+ public:
+  explicit NoCacheScheme(FloodingConfig config)
+      : FloodingSchemeBase(std::move(config)) {}
+
+  std::string name() const override { return "NoCache"; }
+
+  // Never caches: all hooks keep the base no-op behaviour, and the cache
+  // stays empty because nothing ever calls try_cache.
+};
+
+}  // namespace dtn

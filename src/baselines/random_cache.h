@@ -1,0 +1,25 @@
+// RandomCache baseline (Sec. VI): every requester caches the data it
+// receives, hoping to serve future queries; LRU eviction. Requesters are
+// randomly distributed, so cached copies end up at random locations —
+// the paper's argument for why this is ineffective in DTNs.
+#pragma once
+
+#include "baselines/flooding_base.h"
+
+namespace dtn {
+
+class RandomCacheScheme : public FloodingSchemeBase {
+ public:
+  explicit RandomCacheScheme(FloodingConfig config)
+      : FloodingSchemeBase(std::move(config)) {}
+
+  std::string name() const override { return "RandomCache"; }
+
+ protected:
+  void on_delivered(SimServices& services, const Query& query) override {
+    try_cache(services, query.requester, services.data(query.data));
+  }
+  // Eviction: base-class LRU.
+};
+
+}  // namespace dtn

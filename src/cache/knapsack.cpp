@@ -1,0 +1,57 @@
+#include "cache/knapsack.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dtn {
+
+KnapsackResult solve_knapsack(const std::vector<KnapsackItem>& items,
+                              Bytes capacity, Bytes unit) {
+  if (unit <= 0) throw std::invalid_argument("knapsack unit must be > 0");
+  KnapsackResult result;
+  if (items.empty() || capacity <= 0) return result;
+
+  const std::size_t cap_units = static_cast<std::size_t>(capacity / unit);
+  if (cap_units == 0) return result;
+
+  std::vector<std::size_t> unit_sizes(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].size <= 0) throw std::invalid_argument("item size must be > 0");
+    if (items[i].value < 0.0) throw std::invalid_argument("item value must be >= 0");
+    // Round up so quantized feasibility implies byte feasibility.
+    unit_sizes[i] = static_cast<std::size_t>((items[i].size + unit - 1) / unit);
+  }
+
+  // dp[c] = best value using capacity c; keep[i][c] records the choice for
+  // reconstruction. keep is items x (cap+1) bits.
+  std::vector<double> dp(cap_units + 1, 0.0);
+  std::vector<std::vector<bool>> keep(items.size(),
+                                      std::vector<bool>(cap_units + 1, false));
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const std::size_t s = unit_sizes[i];
+    if (s > cap_units) continue;
+    for (std::size_t c = cap_units; c >= s; --c) {
+      const double candidate = dp[c - s] + items[i].value;
+      if (candidate > dp[c]) {
+        dp[c] = candidate;
+        keep[i][c] = true;
+      }
+    }
+  }
+
+  // Reconstruct from the full capacity downward.
+  std::size_t c = cap_units;
+  for (std::size_t i = items.size(); i-- > 0;) {
+    if (c >= unit_sizes[i] && keep[i][c]) {
+      result.selected.push_back(i);
+      result.total_value += items[i].value;
+      result.total_size += items[i].size;
+      c -= unit_sizes[i];
+    }
+  }
+  std::reverse(result.selected.begin(), result.selected.end());
+  return result;
+}
+
+}  // namespace dtn

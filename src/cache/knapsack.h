@@ -1,0 +1,34 @@
+// 0/1 knapsack solver for cache replacement (paper Eq. 7).
+//
+// The paper solves cache replacement as a knapsack over the pooled cached
+// data of two nodes in contact, "in pseudopolynomial time O(n * S_A) by
+// dynamic programming". Capacities are bytes (hundreds of MB), so a naive
+// byte-indexed DP is infeasible; we quantize capacity into fixed-size units
+// (default 1 MiB) — item sizes are rounded *up* so the byte capacity is
+// never exceeded, preserving the knapsack feasibility invariant.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace dtn {
+
+struct KnapsackItem {
+  double value = 0.0;  ///< utility u_i (>= 0)
+  Bytes size = 0;      ///< bytes (> 0)
+};
+
+struct KnapsackResult {
+  std::vector<std::size_t> selected;  ///< indices into the input vector
+  double total_value = 0.0;
+  Bytes total_size = 0;  ///< exact byte total of selected items
+};
+
+/// Maximizes total value subject to total (quantized) size <= capacity.
+/// Deterministic: ties resolve toward lower indices. `unit` is the
+/// quantization granularity in bytes; must be > 0.
+KnapsackResult solve_knapsack(const std::vector<KnapsackItem>& items,
+                              Bytes capacity, Bytes unit = 1 << 20);
+
+}  // namespace dtn

@@ -1,0 +1,43 @@
+#include "cache/popularity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtn {
+
+void PopularityEstimator::record_request(Time when) {
+  if (count_ == 0) {
+    first_ = when;
+    last_ = when;
+  } else {
+    first_ = std::min(first_, when);
+    last_ = std::max(last_, when);
+  }
+  ++count_;
+}
+
+void PopularityEstimator::merge(const PopularityEstimator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  first_ = std::min(first_, other.first_);
+  last_ = std::max(last_, other.last_);
+  count_ = std::max(count_, other.count_);
+}
+
+double PopularityEstimator::request_rate() const {
+  if (count_ < 2 || last_ <= first_) return 0.0;
+  return static_cast<double>(count_) / (last_ - first_);
+}
+
+double PopularityEstimator::popularity(Time now, Time expires) const {
+  const double rate = request_rate();
+  if (rate <= 0.0) return 0.0;
+  const Time remaining = expires - now;
+  if (remaining <= 0.0) return 0.0;
+  return 1.0 - std::exp(-rate * remaining);
+}
+
+}  // namespace dtn

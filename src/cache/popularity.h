@@ -1,0 +1,46 @@
+// Data popularity estimation (paper Sec. V-D.1, Eq. 6).
+//
+// Requests for a data item are modeled as a Poisson process whose rate is
+// estimated from the observed request history; popularity is the
+// probability that at least one more request arrives before the data
+// expires. Only two time values and a counter are maintained, exactly as
+// the paper prescribes ("negligible space overhead").
+#pragma once
+
+#include "common/types.h"
+
+namespace dtn {
+
+class PopularityEstimator {
+ public:
+  PopularityEstimator() = default;
+
+  /// Records one request observed at `when`.
+  void record_request(Time when);
+
+  /// Merges another node's view of the same data item's request history.
+  /// Conservative union: earliest first request, latest last request,
+  /// larger count (counts cannot be added — the histories overlap).
+  void merge(const PopularityEstimator& other);
+
+  std::size_t request_count() const { return count_; }
+  Time first_request() const { return first_; }
+  Time last_request() const { return last_; }
+
+  /// Estimated request rate lambda_d = k / (t_k - t_1). Zero until two
+  /// requests spread in time have been seen.
+  double request_rate() const;
+
+  /// Popularity w = 1 - exp(-lambda_d * (t_e - now)): the probability of at
+  /// least one more request before the expiry `expires`. Zero-rate items
+  /// (new / never requested) have popularity 0 — footnote 3 of the paper:
+  /// newly created data starts with low utility.
+  double popularity(Time now, Time expires) const;
+
+ private:
+  std::size_t count_ = 0;
+  Time first_ = 0.0;
+  Time last_ = 0.0;
+};
+
+}  // namespace dtn

@@ -1,0 +1,164 @@
+#include "cache/replacement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "cache/knapsack.h"
+
+namespace dtn {
+namespace {
+
+/// Selection state of one node during an exchange.
+struct NodeSelection {
+  std::vector<std::size_t> taken;  ///< indices into the pool
+  Bytes free = 0;
+  double weight = 0.0;  ///< p_X to the central (utility factor)
+  bool is_a = false;
+};
+
+double utility_of(const ReplacementItem& item, const NodeSelection& node) {
+  return item.popularity * node.weight;
+}
+
+/// Primary selection for one node following Algorithm 1: in each round,
+/// walk the remaining items in decreasing utility order (the paper's
+/// repeated argmax over S') and cache each with probability u_i; rounds
+/// repeat so the buffer tends towards full utilization, yet a popular item
+/// can lose its slot to the next-best item — the global copy-control
+/// effect of Sec. V-D.3. With `probabilistic` disabled this is the pure
+/// knapsack of Eq. 7 instead.
+void primary_select(const std::vector<ReplacementItem>& pool,
+                    std::vector<std::size_t>& available, NodeSelection& node,
+                    const ReplacementConfig& config, Rng& rng) {
+  auto smallest_fits = [&]() {
+    for (std::size_t idx : available) {
+      if (pool[idx].size <= node.free) return true;
+    }
+    return false;
+  };
+  auto take = [&](std::size_t idx) {
+    node.taken.push_back(idx);
+    node.free -= pool[idx].size;
+    available.erase(std::find(available.begin(), available.end(), idx));
+  };
+
+  if (config.probabilistic) {
+    for (int round = 0; round < config.max_rounds; ++round) {
+      if (available.empty() || !smallest_fits()) break;
+      std::vector<std::size_t> order = available;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t x, std::size_t y) {
+                         return utility_of(pool[x], node) >
+                                utility_of(pool[y], node);
+                       });
+      for (std::size_t idx : order) {
+        if (pool[idx].size > node.free) continue;
+        if (rng.bernoulli(utility_of(pool[idx], node))) take(idx);
+      }
+    }
+    return;
+  }
+
+  if (available.empty() || !smallest_fits()) return;
+  std::vector<KnapsackItem> items;
+  items.reserve(available.size());
+  for (std::size_t idx : available) {
+    items.push_back({utility_of(pool[idx], node), pool[idx].size});
+  }
+  const KnapsackResult dp =
+      solve_knapsack(items, node.free, config.knapsack_unit);
+  std::vector<std::size_t> picks;
+  picks.reserve(dp.selected.size());
+  for (std::size_t k : dp.selected) picks.push_back(available[k]);
+  for (std::size_t idx : picks) {
+    if (pool[idx].size <= node.free) take(idx);
+  }
+}
+
+}  // namespace
+
+ReplacementPlan plan_replacement(const std::vector<ReplacementItem>& pool,
+                                 Bytes capacity_a, Bytes capacity_b,
+                                 double weight_a, double weight_b,
+                                 const ReplacementConfig& config, Rng& rng) {
+  if (capacity_a < 0 || capacity_b < 0) {
+    throw std::invalid_argument("negative capacity");
+  }
+  {
+    std::unordered_set<DataId> ids;
+    for (const auto& item : pool) {
+      if (item.size <= 0) throw std::invalid_argument("item size must be > 0");
+      if (!ids.insert(item.id).second) {
+        throw std::invalid_argument("duplicate data id in replacement pool");
+      }
+    }
+  }
+
+  std::vector<std::size_t> available(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) available[i] = i;
+
+  NodeSelection sel_a{{}, capacity_a, weight_a, true};
+  NodeSelection sel_b{{}, capacity_b, weight_b, false};
+
+  // The node nearer the central picks first (Sec. V-D.2).
+  NodeSelection& first = weight_a >= weight_b ? sel_a : sel_b;
+  NodeSelection& second = weight_a >= weight_b ? sel_b : sel_a;
+  primary_select(pool, available, first, config, rng);
+  primary_select(pool, available, second, config, rng);
+
+  // Anti-drop pass, after BOTH primaries: an item nobody claimed returns
+  // to its resident node when space remains there, or crosses to the peer
+  // when only the peer has room; it is dropped only when neither fits.
+  // (Running this inside the first selector's pass would let a full node
+  // silently re-take everything and never cede buffer space to its
+  // neighbourhood.) Higher-utility items are rescued first.
+  if (!available.empty()) {
+    std::vector<std::size_t> order = available;
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+      if (pool[x].popularity != pool[y].popularity) {
+        return pool[x].popularity > pool[y].popularity;
+      }
+      return pool[x].size < pool[y].size;
+    });
+    std::vector<std::size_t> rescued;
+    for (std::size_t idx : order) {
+      NodeSelection& resident = pool[idx].at_a ? sel_a : sel_b;
+      NodeSelection& other = pool[idx].at_a ? sel_b : sel_a;
+      if (pool[idx].size <= resident.free) {
+        resident.taken.push_back(idx);
+        resident.free -= pool[idx].size;
+        rescued.push_back(idx);
+      } else if (pool[idx].size <= other.free) {
+        other.taken.push_back(idx);
+        other.free -= pool[idx].size;
+        rescued.push_back(idx);
+      }
+    }
+    for (std::size_t idx : rescued) {
+      available.erase(std::find(available.begin(), available.end(), idx));
+    }
+  }
+
+  ReplacementPlan plan;
+  auto record = [&](const NodeSelection& node) {
+    for (std::size_t idx : node.taken) {
+      const ReplacementItem& item = pool[idx];
+      (node.is_a ? plan.keep_at_a : plan.keep_at_b).push_back(item.id);
+      if (item.at_a != node.is_a) {
+        plan.moved.push_back(item.id);
+        plan.moved_bytes += item.size;
+      }
+    }
+  };
+  record(sel_a);
+  record(sel_b);
+  for (std::size_t idx : available) plan.dropped.push_back(pool[idx].id);
+
+  assert(plan.keep_at_a.size() + plan.keep_at_b.size() + plan.dropped.size() ==
+         pool.size());
+  return plan;
+}
+
+}  // namespace dtn

@@ -1,0 +1,25 @@
+#include "cache/response.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dtn {
+
+double SigmoidResponse::probability(Time remaining, Time t_q) const {
+  if (!(t_q > 0.0)) throw std::invalid_argument("T_q must be positive");
+  if (!(p_max > 0.0) || p_max > 1.0 || !(p_min > p_max / 2.0) ||
+      !(p_min < p_max)) {
+    throw std::invalid_argument(
+        "sigmoid response requires 0 < p_max <= 1 and p_max/2 < p_min < p_max");
+  }
+  const Time t = std::clamp(remaining, 0.0, t_q);
+  // Eq. (4): p_R(t) = k1 / (1 + e^{-k2 t}), with k1 = 2 p_min and
+  // k2 = ln(p_max / (2 p_min - p_max)) / T_q, so that p_R(0) = p_min and
+  // p_R(T_q) = p_max.
+  const double k1 = 2.0 * p_min;
+  const double k2 = std::log(p_max / (2.0 * p_min - p_max)) / t_q;
+  return k1 / (1.0 + std::exp(-k2 * t));
+}
+
+}  // namespace dtn

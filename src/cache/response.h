@@ -1,0 +1,38 @@
+// Probabilistic response (paper Sec. V-C).
+//
+// Multiple caching nodes receive each query; replying from all of them
+// wastes bandwidth, replying from too few risks missing the deadline. Each
+// caching node therefore replies with a probability that reflects how
+// likely its copy still arrives in time:
+//  * path-weight variant — when nodes maintain opportunistic paths to all
+//    others, reply with p_CR(T_q - t_0), the weight of the shortest path
+//    from cache to requester under the remaining time budget;
+//  * sigmoid variant (Eq. 4) — when only paths to central nodes are kept,
+//    reply with a sigmoid of the remaining time fraction, anchored at
+//    p_R(0) = p_min and p_R(T_q) = p_max.
+#pragma once
+
+#include "common/types.h"
+
+namespace dtn {
+
+/// Parameters of the sigmoid response probability (Eq. 4).
+/// Validity requires 0 < p_max <= 1 and p_max/2 < p_min < p_max.
+struct SigmoidResponse {
+  double p_min = 0.45;
+  double p_max = 0.8;
+
+  /// p_R(t) for remaining time t within a query of total constraint T_q.
+  /// t is clamped to [0, T_q]. Throws std::invalid_argument for invalid
+  /// parameters or non-positive T_q.
+  double probability(Time remaining, Time t_q) const;
+};
+
+/// Response probability used by the scheme; selects the variant.
+enum class ResponseMode {
+  kAlways,      ///< reply deterministically (ablation)
+  kSigmoid,     ///< Eq. 4 on remaining time
+  kPathWeight,  ///< p_CR(T_q - t_0) from opportunistic paths
+};
+
+}  // namespace dtn

@@ -1,0 +1,34 @@
+// Minimal leveled logging. Simulation hot paths must not pay for disabled
+// logging, so the macros check the global level before evaluating arguments.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dtn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Writes a single formatted line to stderr. Prefer the macros below.
+void log_line(LogLevel level, const std::string& message);
+
+}  // namespace dtn
+
+#define DTN_LOG(level, expr)                                    \
+  do {                                                          \
+    if (static_cast<int>(level) >=                              \
+        static_cast<int>(::dtn::log_level())) {                 \
+      std::ostringstream dtn_log_stream_;                       \
+      dtn_log_stream_ << expr;                                  \
+      ::dtn::log_line(level, dtn_log_stream_.str());            \
+    }                                                           \
+  } while (false)
+
+#define DTN_DEBUG(expr) DTN_LOG(::dtn::LogLevel::kDebug, expr)
+#define DTN_INFO(expr) DTN_LOG(::dtn::LogLevel::kInfo, expr)
+#define DTN_WARN(expr) DTN_LOG(::dtn::LogLevel::kWarn, expr)
+#define DTN_ERROR(expr) DTN_LOG(::dtn::LogLevel::kError, expr)

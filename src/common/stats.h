@@ -1,0 +1,70 @@
+// Streaming and batch statistics used by the experiment harness and benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dtn {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm) plus
+/// min/max tracking. O(1) space; suitable for millions of samples.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel/Chan combination).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;          ///< 0 when empty.
+  double variance() const;      ///< population variance; 0 when n < 2.
+  double sample_variance() const;  ///< unbiased; 0 when n < 2.
+  double stddev() const;
+  double min() const;           ///< +inf when empty.
+  double max() const;           ///< -inf when empty.
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_;
+  double max_;
+};
+
+/// Batch percentile over a copy of the samples (nearest-rank with linear
+/// interpolation, the common "type 7" definition). q in [0, 1].
+double percentile(std::vector<double> samples, double q);
+
+/// Gini coefficient of a non-negative sample set — used to quantify the
+/// skewness of NCL selection metric distributions (Fig. 4 validation).
+/// Returns 0 for empty input or all-zero input.
+double gini(std::vector<double> samples);
+
+/// Simple fixed-width histogram for distribution reporting.
+class Histogram {
+ public:
+  /// Buckets span [lo, hi) split into `buckets` equal cells; out-of-range
+  /// samples are clamped into the first/last cell.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::size_t total() const { return total_; }
+  double bucket_low(std::size_t bucket) const;
+  double bucket_high(std::size_t bucket) const;
+
+  /// Multi-line ASCII rendering, one row per bucket.
+  std::string to_string(std::size_t max_bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace dtn

@@ -1,0 +1,50 @@
+// Aligned text tables for bench output — benches print the same rows/series
+// the paper's tables and figures report, in a form that is both human
+// readable and trivially machine parseable (CSV export).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dtn {
+
+/// A simple right-aligned text table. Cells are strings; numeric helpers
+/// format with a fixed precision. No invariant beyond "rows ragged-free at
+/// print time", so data members stay private to keep rows consistent.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent add_cell/add_number calls fill it.
+  void begin_row();
+
+  void add_cell(std::string value);
+  void add_number(double value, int precision = 3);
+  void add_integer(long long value);
+
+  /// Convenience: append a complete row at once.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return headers_.size(); }
+
+  /// Pretty-printed, pipe-separated, aligned rendering.
+  std::string to_string() const;
+
+  /// RFC-4180-ish CSV (no quoting of embedded commas; our cells never
+  /// contain them).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by benches).
+std::string format_double(double value, int precision = 3);
+
+/// Formats a time quantity (seconds) using an adaptive human unit,
+/// e.g. "36.0h" or "2.5d". Used in bench output next to raw seconds.
+std::string format_duration(double seconds);
+
+}  // namespace dtn

@@ -1,0 +1,50 @@
+// Fundamental identifier and quantity types shared by every dtncache module.
+//
+// All simulation time is expressed in seconds as `Time` (double); all data
+// sizes in bytes as `Bytes` (signed 64-bit, per ES.102/ES.106 we use signed
+// arithmetic even for quantities that are logically non-negative).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dtn {
+
+/// Index of a mobile node in the network, dense in [0, N).
+using NodeId = std::int32_t;
+
+/// Globally unique identifier of a data item.
+using DataId = std::int64_t;
+
+/// Globally unique identifier of a query.
+using QueryId = std::int64_t;
+
+/// Simulation time in seconds since the start of the trace.
+using Time = double;
+
+/// Data size / buffer capacity in bytes.
+using Bytes = std::int64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = -1;
+
+/// Sentinel for "no data".
+inline constexpr DataId kNoData = -1;
+
+/// Sentinel time meaning "never" / "not yet".
+inline constexpr Time kNever = std::numeric_limits<Time>::infinity();
+
+// Convenient literal-style helpers for readable parameter definitions.
+inline constexpr Time seconds(double s) { return s; }
+inline constexpr Time minutes(double m) { return m * 60.0; }
+inline constexpr Time hours(double h) { return h * 3600.0; }
+inline constexpr Time days(double d) { return d * 86400.0; }
+inline constexpr Time weeks(double w) { return w * 7.0 * 86400.0; }
+
+inline constexpr Bytes kilobytes(double k) { return static_cast<Bytes>(k * 1024.0); }
+inline constexpr Bytes megabytes(double m) { return static_cast<Bytes>(m * 1024.0 * 1024.0); }
+
+/// Megabits (the paper quotes sizes like "100 Mb" and link speed 2.1 Mb/s).
+inline constexpr Bytes megabits(double m) { return static_cast<Bytes>(m * 1000.0 * 1000.0 / 8.0); }
+
+}  // namespace dtn

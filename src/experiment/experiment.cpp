@@ -1,0 +1,165 @@
+#include "experiment/experiment.h"
+
+#include <stdexcept>
+
+#include "baselines/bundle_cache.h"
+#include "baselines/cache_data.h"
+#include "baselines/no_cache.h"
+#include "baselines/random_cache.h"
+#include "graph/ncl.h"
+
+namespace dtn {
+
+std::string scheme_kind_name(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kNclCache: return "NCL-Cache";
+    case SchemeKind::kNoCache: return "NoCache";
+    case SchemeKind::kRandomCache: return "RandomCache";
+    case SchemeKind::kCacheData: return "CacheData";
+    case SchemeKind::kBundleCache: return "BundleCache";
+  }
+  return "?";
+}
+
+ContactGraph warmup_graph(const ContactTrace& trace,
+                          const ExperimentConfig& config) {
+  const Time warmup_end = trace.start_time() + trace.duration() / 2.0;
+  return build_contact_graph(trace, warmup_end,
+                             config.sim.min_contacts_for_rate);
+}
+
+Time effective_horizon(const ContactGraph& graph,
+                       const ExperimentConfig& config) {
+  if (!config.auto_horizon) return config.sim.path_horizon;
+  return calibrate_horizon(graph, config.horizon_target_median, minutes(1),
+                           days(90), config.sim.max_hops);
+}
+
+NclSelection warmup_ncl_selection(const ContactTrace& trace,
+                                  const ExperimentConfig& config) {
+  const ContactGraph graph = warmup_graph(trace, config);
+  return select_ncls(graph, effective_horizon(graph, config),
+                     config.ncl_count, config.sim.max_hops);
+}
+
+std::vector<Bytes> draw_buffer_capacities(const ExperimentConfig& config,
+                                          NodeId node_count,
+                                          std::uint64_t seed) {
+  if (config.buffer_min <= 0 || config.buffer_max < config.buffer_min) {
+    throw std::invalid_argument("invalid buffer capacity range");
+  }
+  Rng rng(seed);
+  std::vector<Bytes> buffers(static_cast<std::size_t>(node_count));
+  for (auto& b : buffers) {
+    b = rng.uniform_int(config.buffer_min, config.buffer_max);
+  }
+  return buffers;
+}
+
+std::unique_ptr<Scheme> make_scheme(SchemeKind kind,
+                                    const ExperimentConfig& config,
+                                    const NclSelection& ncls,
+                                    std::vector<Bytes> buffers) {
+  switch (kind) {
+    case SchemeKind::kNclCache: {
+      NclSchemeConfig c;
+      c.central_nodes = ncls.central_nodes;
+      c.buffer_capacity = std::move(buffers);
+      c.response_mode = config.response_mode;
+      c.sigmoid = config.sigmoid;
+      c.strategy = config.strategy;
+      c.enable_replacement = config.enable_replacement;
+      c.dynamic_ncl = config.dynamic_ncl;
+      return std::make_unique<NclCachingScheme>(std::move(c));
+    }
+    case SchemeKind::kNoCache: {
+      FloodingConfig c;
+      c.buffer_capacity = std::move(buffers);
+      return std::make_unique<NoCacheScheme>(std::move(c));
+    }
+    case SchemeKind::kRandomCache: {
+      FloodingConfig c;
+      c.buffer_capacity = std::move(buffers);
+      return std::make_unique<RandomCacheScheme>(std::move(c));
+    }
+    case SchemeKind::kCacheData: {
+      FloodingConfig c;
+      c.buffer_capacity = std::move(buffers);
+      return std::make_unique<CacheDataScheme>(std::move(c));
+    }
+    case SchemeKind::kBundleCache: {
+      BundleCacheConfig c;
+      c.flooding.buffer_capacity = std::move(buffers);
+      return std::make_unique<BundleCacheScheme>(std::move(c));
+    }
+  }
+  throw std::logic_error("unknown scheme kind");
+}
+
+ExperimentResult run_experiment(const ContactTrace& trace, SchemeKind kind,
+                                const ExperimentConfig& config) {
+  if (config.repetitions < 1) throw std::invalid_argument("repetitions >= 1");
+
+  ExperimentResult result;
+  result.scheme = scheme_kind_name(kind);
+
+  const Time warmup_end = trace.start_time() + trace.duration() / 2.0;
+  const ContactGraph graph = warmup_graph(trace, config);
+  const Time horizon = effective_horizon(graph, config);
+  const NclSelection ncls = select_ncls(graph, horizon, config.ncl_count,
+                                        config.sim.max_hops);
+
+  for (int rep = 0; rep < config.repetitions; ++rep) {
+    const std::uint64_t rep_seed =
+        config.seed + 0x9E3779B9ULL * static_cast<std::uint64_t>(rep + 1);
+
+    WorkloadConfig wc;
+    wc.start = warmup_end;
+    wc.end = trace.end_time();
+    wc.avg_lifetime = config.avg_lifetime;
+    wc.generation_prob = config.generation_prob;
+    wc.avg_size = config.avg_data_size;
+    wc.zipf_exponent = config.zipf_exponent;
+    wc.query_constraint_factor = config.query_constraint_factor;
+    wc.seed = rep_seed;
+    const Workload workload = generate_workload(wc, trace.node_count());
+
+    std::vector<Bytes> buffers =
+        draw_buffer_capacities(config, trace.node_count(), rep_seed ^ 0xB0FFu);
+    std::unique_ptr<Scheme> scheme =
+        make_scheme(kind, config, ncls, std::move(buffers));
+
+    SimConfig sc = config.sim;
+    sc.path_horizon = horizon;
+    sc.seed = rep_seed ^ 0x51Au;
+    const RunResult run = run_simulation(trace, workload, *scheme, sc);
+
+    result.success_ratio.add(run.metrics.success_ratio());
+    if (run.metrics.queries_satisfied() > 0) {
+      result.delay_hours.add(run.metrics.mean_delay() / 3600.0);
+    }
+    result.copies_per_item.add(run.metrics.mean_copies());
+    result.replacement_overhead.add(run.metrics.replacement_overhead());
+    result.queries_issued.add(static_cast<double>(run.metrics.queries_issued()));
+    result.queries_satisfied.add(
+        static_cast<double>(run.metrics.queries_satisfied()));
+    result.gigabytes_transferred.add(
+        static_cast<double>(run.metrics.bytes_transferred()) / 1e9);
+    result.duplicate_deliveries.add(
+        static_cast<double>(run.metrics.duplicate_deliveries()));
+  }
+  return result;
+}
+
+std::vector<ExperimentResult> run_comparison(
+    const ContactTrace& trace, const std::vector<SchemeKind>& kinds,
+    const ExperimentConfig& config) {
+  std::vector<ExperimentResult> results;
+  results.reserve(kinds.size());
+  for (SchemeKind kind : kinds) {
+    results.push_back(run_experiment(trace, kind, config));
+  }
+  return results;
+}
+
+}  // namespace dtn

@@ -1,0 +1,70 @@
+#include "experiment/sweep.h"
+
+#include <sstream>
+
+namespace dtn {
+
+std::vector<SweepRow> run_sweep(
+    const ContactTrace& trace, const SweepConfig& config,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  const std::vector<Time> lifetimes =
+      config.lifetimes.empty() ? std::vector<Time>{config.base.avg_lifetime}
+                               : config.lifetimes;
+  const std::vector<Bytes> sizes =
+      config.data_sizes.empty() ? std::vector<Bytes>{config.base.avg_data_size}
+                                : config.data_sizes;
+  const std::vector<int> ks = config.ncl_counts.empty()
+                                  ? std::vector<int>{config.base.ncl_count}
+                                  : config.ncl_counts;
+
+  const std::size_t total =
+      config.schemes.size() * lifetimes.size() * sizes.size() * ks.size();
+  std::vector<SweepRow> rows;
+  rows.reserve(total);
+
+  std::size_t done = 0;
+  for (int k : ks) {
+    for (Time lifetime : lifetimes) {
+      for (Bytes size : sizes) {
+        for (SchemeKind scheme : config.schemes) {
+          ExperimentConfig cell = config.base;
+          cell.avg_lifetime = lifetime;
+          cell.avg_data_size = size;
+          cell.ncl_count = k;
+          const ExperimentResult r = run_experiment(trace, scheme, cell);
+
+          SweepRow row;
+          row.scheme = r.scheme;
+          row.avg_lifetime = lifetime;
+          row.avg_data_size = size;
+          row.ncl_count = k;
+          row.success_ratio = r.success_ratio.mean();
+          row.delay_hours = r.delay_hours.mean();
+          row.copies_per_item = r.copies_per_item.mean();
+          row.replacement_overhead = r.replacement_overhead.mean();
+          row.queries = r.queries_issued.mean();
+          rows.push_back(std::move(row));
+          if (progress) progress(++done, total);
+        }
+      }
+    }
+  }
+  return rows;
+}
+
+std::string sweep_to_csv(const std::vector<SweepRow>& rows) {
+  std::ostringstream out;
+  out << "scheme,lifetime_hours,size_mb,k,success_ratio,delay_hours,"
+         "copies_per_item,replacement_overhead,queries\n";
+  out.precision(6);
+  for (const auto& row : rows) {
+    out << row.scheme << ',' << row.avg_lifetime / 3600.0 << ','
+        << static_cast<double>(row.avg_data_size) * 8.0 / 1e6 << ','
+        << row.ncl_count << ',' << row.success_ratio << ',' << row.delay_hours
+        << ',' << row.copies_per_item << ',' << row.replacement_overhead << ','
+        << row.queries << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dtn

@@ -1,0 +1,46 @@
+// Declarative parameter sweeps: the cross product of lifetimes, data sizes,
+// NCL counts and schemes over one trace, with CSV export — the batch-mode
+// complement to the per-figure benches.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "experiment/experiment.h"
+
+namespace dtn {
+
+struct SweepConfig {
+  /// Base configuration; each axis below overrides one field per cell.
+  ExperimentConfig base;
+
+  std::vector<SchemeKind> schemes{SchemeKind::kNclCache};
+  std::vector<Time> lifetimes;       ///< empty = keep base.avg_lifetime
+  std::vector<Bytes> data_sizes;     ///< empty = keep base.avg_data_size
+  std::vector<int> ncl_counts;       ///< empty = keep base.ncl_count
+};
+
+/// One sweep cell's outcome, flattened for tabulation.
+struct SweepRow {
+  std::string scheme;
+  Time avg_lifetime = 0.0;
+  Bytes avg_data_size = 0;
+  int ncl_count = 0;
+  double success_ratio = 0.0;
+  double delay_hours = 0.0;
+  double copies_per_item = 0.0;
+  double replacement_overhead = 0.0;
+  double queries = 0.0;
+};
+
+/// Runs the full cross product. `progress` (optional) is called once per
+/// completed cell with (done, total).
+std::vector<SweepRow> run_sweep(
+    const ContactTrace& trace, const SweepConfig& config,
+    const std::function<void(std::size_t, std::size_t)>& progress = {});
+
+/// CSV rendering (header + one line per row).
+std::string sweep_to_csv(const std::vector<SweepRow>& rows);
+
+}  // namespace dtn

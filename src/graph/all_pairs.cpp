@@ -1,0 +1,35 @@
+#include "graph/all_pairs.h"
+
+#include <stdexcept>
+
+#include "graph/hypoexp.h"
+
+namespace dtn {
+
+AllPairsPaths::AllPairsPaths(const ContactGraph& graph, Time horizon,
+                             int max_hops)
+    : horizon_(horizon) {
+  tables_.reserve(static_cast<std::size_t>(graph.node_count()));
+  for (NodeId root = 0; root < graph.node_count(); ++root) {
+    tables_.push_back(
+        compute_opportunistic_paths(graph, root, horizon, max_hops));
+  }
+}
+
+const PathTable& AllPairsPaths::table(NodeId root) const {
+  return tables_.at(static_cast<std::size_t>(root));
+}
+
+double AllPairsPaths::weight(NodeId from, NodeId to) const {
+  if (from == to) return 1.0;
+  return table(to).weight(from);
+}
+
+double AllPairsPaths::weight_at(NodeId from, NodeId to, Time budget) const {
+  if (from == to) return 1.0;
+  const auto& entry = table(to).entry(from);
+  if (entry.weight <= 0.0) return 0.0;
+  return hypoexp_cdf(entry.rates, budget);
+}
+
+}  // namespace dtn

@@ -1,0 +1,46 @@
+// All-pairs shortest opportunistic paths.
+//
+// Because contacts are symmetric, the weight of the shortest opportunistic
+// path from u to v equals the weight from v to u, and one single-source
+// table rooted at v answers "how well can anyone reach v". Schemes use
+// these tables for (a) gradient forwarding towards central nodes, (b)
+// routing replies back to requesters, and (c) the path-weight variant of
+// the probabilistic response (Sec. V-C).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/contact_graph.h"
+#include "graph/opportunistic_path.h"
+
+namespace dtn {
+
+class AllPairsPaths {
+ public:
+  AllPairsPaths() = default;
+
+  /// Computes one PathTable per root. O(N) Dijkstra runs.
+  AllPairsPaths(const ContactGraph& graph, Time horizon, int max_hops = 8);
+
+  NodeId node_count() const { return static_cast<NodeId>(tables_.size()); }
+  bool empty() const { return tables_.empty(); }
+  Time horizon() const { return horizon_; }
+
+  /// Table rooted at `root`: entry(u).weight is p_{u,root}(horizon).
+  const PathTable& table(NodeId root) const;
+
+  /// Weight of the shortest opportunistic path from `from` to `to`
+  /// within the construction horizon. 1.0 when from == to.
+  double weight(NodeId from, NodeId to) const;
+
+  /// Weight of the same path re-evaluated at a different time budget
+  /// (used for p_CR(T_q - t_0)). Falls back to 0 when unreachable.
+  double weight_at(NodeId from, NodeId to, Time budget) const;
+
+ private:
+  std::vector<PathTable> tables_;
+  Time horizon_ = 0.0;
+};
+
+}  // namespace dtn

@@ -1,0 +1,99 @@
+#include "graph/analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/stats.h"
+
+namespace dtn {
+
+std::vector<std::size_t> degrees(const ContactGraph& graph) {
+  std::vector<std::size_t> result(static_cast<std::size_t>(graph.node_count()));
+  for (NodeId i = 0; i < graph.node_count(); ++i) {
+    result[static_cast<std::size_t>(i)] = graph.neighbors(i).size();
+  }
+  return result;
+}
+
+DegreeStats degree_stats(const ContactGraph& graph) {
+  DegreeStats stats;
+  const auto d = degrees(graph);
+  if (d.empty()) return stats;
+  std::vector<double> values(d.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    values[i] = static_cast<double>(d[i]);
+    sum += values[i];
+    stats.max = std::max(stats.max, values[i]);
+  }
+  stats.mean = sum / static_cast<double>(d.size());
+  stats.gini = gini(values);
+  return stats;
+}
+
+std::vector<double> weighted_degrees(const ContactGraph& graph) {
+  std::vector<double> result(static_cast<std::size_t>(graph.node_count()), 0.0);
+  for (NodeId i = 0; i < graph.node_count(); ++i) {
+    for (const auto& nb : graph.neighbors(i)) {
+      result[static_cast<std::size_t>(i)] += nb.rate;
+    }
+  }
+  return result;
+}
+
+double clustering_coefficient(const ContactGraph& graph, NodeId node) {
+  const auto& neighbors = graph.neighbors(node);
+  const std::size_t k = neighbors.size();
+  if (k < 2) return 0.0;
+  std::size_t closed = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      if (graph.rate(neighbors[i].node, neighbors[j].node) > 0.0) ++closed;
+    }
+  }
+  return 2.0 * static_cast<double>(closed) /
+         (static_cast<double>(k) * static_cast<double>(k - 1));
+}
+
+double average_clustering(const ContactGraph& graph) {
+  if (graph.node_count() == 0) return 0.0;
+  double total = 0.0;
+  for (NodeId i = 0; i < graph.node_count(); ++i) {
+    total += clustering_coefficient(graph, i);
+  }
+  return total / static_cast<double>(graph.node_count());
+}
+
+std::size_t Components::largest() const {
+  std::unordered_map<int, std::size_t> sizes;
+  std::size_t best = 0;
+  for (int c : component) best = std::max(best, ++sizes[c]);
+  return best;
+}
+
+Components connected_components(const ContactGraph& graph) {
+  const NodeId n = graph.node_count();
+  Components result;
+  result.component.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (result.component[static_cast<std::size_t>(start)] >= 0) continue;
+    const int id = result.count++;
+    stack.push_back(start);
+    result.component[static_cast<std::size_t>(start)] = id;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const auto& nb : graph.neighbors(u)) {
+        if (result.component[static_cast<std::size_t>(nb.node)] < 0) {
+          result.component[static_cast<std::size_t>(nb.node)] = id;
+          stack.push_back(nb.node);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dtn

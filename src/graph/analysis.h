@@ -1,0 +1,45 @@
+// Structural analysis of contact graphs: degree statistics, clustering,
+// connected components. Used to characterize traces (trace_explorer) and to
+// sanity-check synthetic generation (hubs, communities, sparsity).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/contact_graph.h"
+
+namespace dtn {
+
+struct DegreeStats {
+  double mean = 0.0;
+  double max = 0.0;
+  double gini = 0.0;  ///< inequality of the degree distribution (hubs!)
+};
+
+/// Unweighted degree (number of neighbors) per node.
+std::vector<std::size_t> degrees(const ContactGraph& graph);
+DegreeStats degree_stats(const ContactGraph& graph);
+
+/// Weighted degree: sum of incident contact rates per node — the "contact
+/// capacity" of a node, the raw ingredient of its centrality.
+std::vector<double> weighted_degrees(const ContactGraph& graph);
+
+/// Local clustering coefficient of one node: the fraction of its neighbor
+/// pairs that are themselves connected. 0 for degree < 2.
+double clustering_coefficient(const ContactGraph& graph, NodeId node);
+
+/// Mean local clustering coefficient over all nodes (Watts-Strogatz).
+double average_clustering(const ContactGraph& graph);
+
+/// Component id per node (ids dense from 0, assigned in node order) plus
+/// the number of components. Isolated nodes form singleton components.
+struct Components {
+  std::vector<int> component;  ///< size N
+  int count = 0;
+
+  /// Size of the largest component.
+  std::size_t largest() const;
+};
+Components connected_components(const ContactGraph& graph);
+
+}  // namespace dtn

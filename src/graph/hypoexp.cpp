@@ -1,0 +1,144 @@
+#include "graph/hypoexp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dtn {
+namespace {
+
+void validate_rates(const std::vector<double>& rates) {
+  for (double r : rates) {
+    if (!(r > 0.0)) throw std::invalid_argument("hypoexp rates must be > 0");
+  }
+}
+
+/// True when any two rates are close enough to make the partial-fraction
+/// coefficients numerically unreliable.
+bool has_near_equal_rates(std::vector<double> rates) {
+  std::sort(rates.begin(), rates.end());
+  for (std::size_t i = 1; i < rates.size(); ++i) {
+    if ((rates[i] - rates[i - 1]) <= 1e-6 * rates[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+double erlang_cdf(int shape, double rate, double t) {
+  if (shape < 1 || !(rate > 0.0)) {
+    throw std::invalid_argument("erlang_cdf requires shape >= 1, rate > 0");
+  }
+  if (t <= 0.0) return 0.0;
+  // 1 - e^{-rt} * sum_{i=0}^{shape-1} (rt)^i / i!
+  const double x = rate * t;
+  double term = 1.0;  // (rt)^0 / 0!
+  double sum = 1.0;
+  for (int i = 1; i < shape; ++i) {
+    term *= x / static_cast<double>(i);
+    sum += term;
+  }
+  const double result = 1.0 - std::exp(-x) * sum;
+  return std::clamp(result, 0.0, 1.0);
+}
+
+double hypoexp_cdf_closed_form(const std::vector<double>& rates, double t) {
+  validate_rates(rates);
+  if (rates.empty()) return t >= 0.0 ? 1.0 : 0.0;
+  if (t <= 0.0) return 0.0;
+  double result = 0.0;
+  const std::size_t r = rates.size();
+  for (std::size_t k = 0; k < r; ++k) {
+    double coeff = 1.0;
+    for (std::size_t s = 0; s < r; ++s) {
+      if (s == k) continue;
+      const double denom = rates[s] - rates[k];
+      if (denom == 0.0) {
+        throw std::invalid_argument(
+            "hypoexp_cdf_closed_form requires strictly distinct rates");
+      }
+      coeff *= rates[s] / denom;
+    }
+    result += coeff * (1.0 - std::exp(-rates[k] * t));
+  }
+  return std::clamp(result, 0.0, 1.0);
+}
+
+double hypoexp_cdf_uniformization(const std::vector<double>& rates, double t,
+                                  double tolerance) {
+  validate_rates(rates);
+  if (rates.empty()) return t >= 0.0 ? 1.0 : 0.0;
+  if (t <= 0.0) return 0.0;
+
+  const std::size_t r = rates.size();
+  const double big_lambda = *std::max_element(rates.begin(), rates.end());
+  const double a = big_lambda * t;
+
+  // v[k] = probability of being in transient phase k after m uniformized
+  // jumps; `absorbed` = probability of having completed all phases.
+  std::vector<double> v(r, 0.0);
+  v[0] = 1.0;
+  double absorbed = 0.0;
+
+  // Poisson(a) pmf computed iteratively. Start from m = 0.
+  double log_pois = -a;  // log pmf at m=0
+  double result = 0.0;
+  double tail = 1.0;  // remaining Poisson mass, bounds truncation error
+
+  // Upper bound on iterations: mean + wide safety margin.
+  const std::size_t max_terms =
+      static_cast<std::size_t>(a + 12.0 * std::sqrt(a + 1.0) + 64.0);
+
+  for (std::size_t m = 0;; ++m) {
+    const double pois = std::exp(log_pois);
+    result += pois * absorbed;
+    tail -= pois;
+    if (tail * 1.0 <= tolerance || m >= max_terms) break;
+
+    // One uniformized jump.
+    std::vector<double> next(r, 0.0);
+    for (std::size_t k = 0; k < r; ++k) {
+      if (v[k] == 0.0) continue;
+      const double p_move = rates[k] / big_lambda;
+      if (k + 1 < r) {
+        next[k + 1] += v[k] * p_move;
+      } else {
+        absorbed += v[k] * p_move;
+      }
+      next[k] += v[k] * (1.0 - p_move);
+    }
+    v = std::move(next);
+
+    log_pois += std::log(a) - std::log(static_cast<double>(m + 1));
+  }
+  // The neglected tail has absorbed-probability <= 1, so `result` may be
+  // short by at most `tail`. Add nothing; clamp for safety.
+  return std::clamp(result, 0.0, 1.0);
+}
+
+double hypoexp_cdf(const std::vector<double>& rates, double t) {
+  validate_rates(rates);
+  if (rates.empty()) return t >= 0.0 ? 1.0 : 0.0;
+  if (t <= 0.0) return 0.0;
+  if (rates.size() == 1) {
+    return std::clamp(1.0 - std::exp(-rates[0] * t), 0.0, 1.0);
+  }
+  const double first = rates.front();
+  if (std::all_of(rates.begin(), rates.end(),
+                  [&](double x) { return x == first; })) {
+    return erlang_cdf(static_cast<int>(rates.size()), first, t);
+  }
+  if (has_near_equal_rates(rates)) {
+    return hypoexp_cdf_uniformization(rates, t);
+  }
+  return hypoexp_cdf_closed_form(rates, t);
+}
+
+double hypoexp_mean(const std::vector<double>& rates) {
+  validate_rates(rates);
+  double mean = 0.0;
+  for (double r : rates) mean += 1.0 / r;
+  return mean;
+}
+
+}  // namespace dtn

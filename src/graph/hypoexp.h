@@ -1,0 +1,47 @@
+// Hypoexponential distribution: the law of a sum of independent exponential
+// random variables with (possibly distinct) rates. This is the paper's
+// Eq. (1)-(2): the delivery delay along an r-hop opportunistic path is the
+// sum of r exponential inter-contact times, and the *path weight* is the
+// CDF of that sum evaluated at the time budget T.
+//
+// Numerical strategy (three cross-validated paths):
+//  * r == 1 ............ plain exponential CDF;
+//  * all rates equal ... Erlang closed form;
+//  * distinct rates .... classic partial-fraction closed form
+//                        P(S <= t) = sum_k C_k (1 - e^{-l_k t}),
+//                        C_k = prod_{s != k} l_s / (l_s - l_k);
+//  * near-equal rates .. the closed form suffers catastrophic cancellation
+//                        (C_k blow up with alternating signs), so we fall
+//                        back to uniformization of the underlying
+//                        phase-type chain, which is unconditionally stable.
+#pragma once
+
+#include <vector>
+
+namespace dtn {
+
+/// CDF of the sum of independent exponentials with the given rates,
+/// evaluated at t. All rates must be > 0; throws std::invalid_argument
+/// otherwise. An empty rate list is the sum of zero variables, i.e. the
+/// constant 0: the CDF is 1 for t >= 0. Returns 0 for t <= 0 (r >= 1).
+///
+/// The result is clamped to [0, 1].
+double hypoexp_cdf(const std::vector<double>& rates, double t);
+
+/// Erlang CDF: sum of `shape` exponentials with common `rate`.
+/// Exposed separately for testing; shape >= 1, rate > 0.
+double erlang_cdf(int shape, double rate, double t);
+
+/// Closed-form hypoexponential CDF for *strictly distinct* rates. Exposed
+/// for testing; callers should normally use hypoexp_cdf, which dispatches.
+double hypoexp_cdf_closed_form(const std::vector<double>& rates, double t);
+
+/// Uniformization-based CDF; stable for any positive rates. Exposed for
+/// testing. `tolerance` bounds the truncation error of the Poisson mixture.
+double hypoexp_cdf_uniformization(const std::vector<double>& rates, double t,
+                                  double tolerance = 1e-12);
+
+/// Mean of the hypoexponential: sum of 1/rate.
+double hypoexp_mean(const std::vector<double>& rates);
+
+}  // namespace dtn

@@ -1,0 +1,52 @@
+// Network Central Location (NCL) selection — Sec. IV of the paper.
+//
+// The metric of node i (Eq. 3) is the average, over all other nodes j, of
+// the weight of the shortest opportunistic path from j to i within time T:
+// the probability that a random node can reach i in time. The network
+// administrator computes the metric during the warm-up period and selects
+// the top K nodes as central nodes; the selection then stays fixed for the
+// whole data-access phase (contact rates are long-term stable).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/contact_graph.h"
+#include "graph/opportunistic_path.h"
+
+namespace dtn {
+
+/// NCL metric C_i for every node (Eq. 3). Because contacts are symmetric,
+/// p_ji = p_ij, so one single-source computation per node suffices.
+std::vector<double> ncl_metrics(const ContactGraph& graph, Time horizon,
+                                int max_hops = 8);
+
+/// The outcome of NCL selection.
+struct NclSelection {
+  /// Central node ids, highest metric first; size min(K, N).
+  std::vector<NodeId> central_nodes;
+  /// Metric value per node id (size N), for validation and reporting.
+  std::vector<double> metric;
+
+  bool is_central(NodeId node) const;
+  /// Index of `node` within central_nodes, or -1.
+  int central_index(NodeId node) const;
+};
+
+/// Selects the top `k` nodes by NCL metric. Ties break towards the lower
+/// node id for determinism.
+NclSelection select_ncls(const ContactGraph& graph, Time horizon, int k,
+                         int max_hops = 8);
+
+/// Adaptive choice of the time budget T (Sec. IV-B): "inappropriate values
+/// of T will make C_i close to 0 or 1 ... different values of T are used
+/// adaptively to ensure the differentiation of the NCL selection metric".
+/// Bisects T until the median metric is close to `target_median`.
+/// Returns a horizon in [min_horizon, max_horizon].
+Time calibrate_horizon(const ContactGraph& graph,
+                       double target_median = 0.3,
+                       Time min_horizon = 60.0,
+                       Time max_horizon = 90.0 * 86400.0,
+                       int max_hops = 8);
+
+}  // namespace dtn

@@ -1,0 +1,123 @@
+#include "graph/opportunistic_path.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+
+#include "graph/hypoexp.h"
+
+namespace dtn {
+
+PathTable::PathTable(NodeId root, Time horizon, std::vector<Entry> entries)
+    : root_(root), horizon_(horizon), entries_(std::move(entries)) {
+  if (root_ < 0 || root_ >= node_count()) {
+    throw std::invalid_argument("path table root out of range");
+  }
+}
+
+const PathTable::Entry& PathTable::entry(NodeId node) const {
+  return entries_.at(static_cast<std::size_t>(node));
+}
+
+std::vector<NodeId> PathTable::path_to_root(NodeId node) const {
+  if (!reachable(node)) return {};
+  std::vector<NodeId> path;
+  NodeId current = node;
+  path.push_back(current);
+  while (current != root_) {
+    current = entry(current).next_hop;
+    assert(current != kNoNode);
+    path.push_back(current);
+    if (path.size() > entries_.size()) {
+      throw std::logic_error("cycle in path table");  // defensive
+    }
+  }
+  return path;
+}
+
+PathTable compute_opportunistic_paths(const ContactGraph& graph, NodeId root,
+                                      Time horizon, int max_hops) {
+  const NodeId n = graph.node_count();
+  if (root < 0 || root >= n) throw std::invalid_argument("root out of range");
+  if (!(horizon > 0.0)) throw std::invalid_argument("horizon must be > 0");
+  if (max_hops < 1) throw std::invalid_argument("max_hops must be >= 1");
+
+  std::vector<PathTable::Entry> entries(static_cast<std::size_t>(n));
+  entries[static_cast<std::size_t>(root)].weight = 1.0;  // empty path
+  entries[static_cast<std::size_t>(root)].next_hop = root;
+
+  struct QueueItem {
+    double weight;
+    NodeId node;
+    bool operator<(const QueueItem& other) const {
+      // max-heap on weight, deterministic tie-break on node id
+      if (weight != other.weight) return weight < other.weight;
+      return node > other.node;
+    }
+  };
+  std::priority_queue<QueueItem> queue;
+  queue.push({1.0, root});
+  std::vector<bool> settled(static_cast<std::size_t>(n), false);
+
+  while (!queue.empty()) {
+    const auto [weight, u] = queue.top();
+    queue.pop();
+    auto& eu = entries[static_cast<std::size_t>(u)];
+    if (settled[static_cast<std::size_t>(u)]) continue;
+    if (weight < eu.weight) continue;  // stale entry
+    settled[static_cast<std::size_t>(u)] = true;
+    if (eu.hops >= max_hops) continue;
+
+    for (const auto& nb : graph.neighbors(u)) {
+      auto& ev = entries[static_cast<std::size_t>(nb.node)];
+      if (settled[static_cast<std::size_t>(nb.node)]) continue;
+      std::vector<double> rates = eu.rates;
+      rates.push_back(nb.rate);
+      const double candidate = hypoexp_cdf(rates, horizon);
+      if (candidate > ev.weight) {
+        ev.weight = candidate;
+        ev.next_hop = u;
+        ev.hops = eu.hops + 1;
+        ev.rates = std::move(rates);
+        queue.push({candidate, nb.node});
+      }
+    }
+  }
+  return PathTable(root, horizon, std::move(entries));
+}
+
+namespace {
+
+void dfs_best(const ContactGraph& graph, NodeId current, NodeId target,
+              Time horizon, int hops_left, std::vector<double>& rates,
+              std::vector<bool>& visited, double& best) {
+  if (current == target) {
+    best = std::max(best, hypoexp_cdf(rates, horizon));
+    return;
+  }
+  if (hops_left == 0) return;
+  visited[static_cast<std::size_t>(current)] = true;
+  for (const auto& nb : graph.neighbors(current)) {
+    if (visited[static_cast<std::size_t>(nb.node)]) continue;
+    rates.push_back(nb.rate);
+    dfs_best(graph, nb.node, target, horizon, hops_left - 1, rates, visited,
+             best);
+    rates.pop_back();
+  }
+  visited[static_cast<std::size_t>(current)] = false;
+}
+
+}  // namespace
+
+double brute_force_best_weight(const ContactGraph& graph, NodeId from,
+                               NodeId to, Time horizon, int max_hops) {
+  if (from == to) return 1.0;
+  std::vector<double> rates;
+  std::vector<bool> visited(static_cast<std::size_t>(graph.node_count()), false);
+  double best = 0.0;
+  dfs_best(graph, from, to, horizon, max_hops, rates, visited, best);
+  return best;
+}
+
+}  // namespace dtn

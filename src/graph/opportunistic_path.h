@@ -1,0 +1,64 @@
+// Shortest opportunistic paths (paper Definition 1).
+//
+// The weight of a path is the probability that data traverses all its hops
+// within a time budget T (the hypoexponential CDF of the hop rates); the
+// "shortest" path between two nodes is the one maximizing that probability.
+// Appending a hop to a path strictly decreases its weight (the sum of one
+// more positive random variable stochastically dominates), so a Dijkstra-
+// style label-setting search applies. Note the classic caveat: the weight
+// is a function of the whole rate multiset, not an edge-decomposable
+// semiring, so label-setting is the standard *greedy* construction used in
+// this literature rather than an exact optimum over all paths; tests verify
+// it is exact on small graphs by comparison with brute-force enumeration.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/contact_graph.h"
+
+namespace dtn {
+
+/// Result of a single-source computation rooted at `root()`.
+class PathTable {
+ public:
+  struct Entry {
+    double weight = 0.0;        ///< p(T) to the root; 0 when unreachable.
+    NodeId next_hop = kNoNode;  ///< neighbor one hop closer to the root.
+    int hops = 0;               ///< path length; 0 only for the root itself.
+    std::vector<double> rates;  ///< hop rates from this node to the root.
+  };
+
+  PathTable(NodeId root, Time horizon, std::vector<Entry> entries);
+
+  NodeId root() const { return root_; }
+  Time horizon() const { return horizon_; }
+  NodeId node_count() const { return static_cast<NodeId>(entries_.size()); }
+
+  const Entry& entry(NodeId node) const;
+  double weight(NodeId node) const { return entry(node).weight; }
+  bool reachable(NodeId node) const { return entry(node).weight > 0.0; }
+
+  /// Reconstructs the node sequence from `node` to the root (inclusive).
+  /// Empty when unreachable.
+  std::vector<NodeId> path_to_root(NodeId node) const;
+
+ private:
+  NodeId root_;
+  Time horizon_;
+  std::vector<Entry> entries_;
+};
+
+/// Single-source shortest opportunistic paths within time budget `horizon`.
+/// Paths longer than `max_hops` hops are not considered (coefficients and
+/// delivery probability both degrade rapidly with hop count; the paper's
+/// traces rarely need more than a handful of hops).
+PathTable compute_opportunistic_paths(const ContactGraph& graph, NodeId root,
+                                      Time horizon, int max_hops = 8);
+
+/// Brute-force exact maximum-weight simple path search (exponential; for
+/// testing the Dijkstra construction on small graphs only).
+double brute_force_best_weight(const ContactGraph& graph, NodeId from,
+                               NodeId to, Time horizon, int max_hops = 8);
+
+}  // namespace dtn

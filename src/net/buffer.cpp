@@ -1,0 +1,34 @@
+#include "net/buffer.h"
+
+#include <stdexcept>
+
+namespace dtn {
+
+CacheBuffer::CacheBuffer(Bytes capacity) : capacity_(capacity) {
+  if (capacity < 0) throw std::invalid_argument("negative buffer capacity");
+}
+
+bool CacheBuffer::insert(DataId id, Bytes size) {
+  if (size <= 0) throw std::invalid_argument("entry size must be positive");
+  if (sizes_.contains(id) || size > free()) return false;
+  sizes_.emplace(id, size);
+  used_ += size;
+  return true;
+}
+
+bool CacheBuffer::erase(DataId id) {
+  auto it = sizes_.find(id);
+  if (it == sizes_.end()) return false;
+  used_ -= it->second;
+  sizes_.erase(it);
+  return true;
+}
+
+std::vector<DataId> CacheBuffer::items() const {
+  std::vector<DataId> result;
+  result.reserve(sizes_.size());
+  for (const auto& [id, size] : sizes_) result.push_back(id);
+  return result;
+}
+
+}  // namespace dtn

@@ -1,0 +1,50 @@
+// Per-node caching buffer with byte accounting.
+//
+// Every node has a limited caching buffer (the paper's "basic prerequisite");
+// this class enforces the byte budget and tracks which data ids are held.
+// Higher-level metadata (popularity, NCL assignment) is kept by the schemes.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dtn {
+
+/// Invariant: used() == sum of sizes of stored entries, and used() <=
+/// capacity() at all times.
+class CacheBuffer {
+ public:
+  explicit CacheBuffer(Bytes capacity = 0);
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  Bytes free() const { return capacity_ - used_; }
+  std::size_t count() const { return sizes_.size(); }
+  bool empty() const { return sizes_.empty(); }
+
+  bool contains(DataId id) const { return sizes_.contains(id); }
+  /// Size of the stored entry; throws std::out_of_range when absent.
+  Bytes size_of(DataId id) const { return sizes_.at(id); }
+
+  /// True if a new entry of `size` bytes would fit right now.
+  bool fits(Bytes size) const { return size <= free(); }
+
+  /// Inserts the entry; returns false (and changes nothing) when it does
+  /// not fit or is already present. size must be > 0.
+  bool insert(DataId id, Bytes size);
+
+  /// Removes the entry; returns false when absent.
+  bool erase(DataId id);
+
+  /// All stored ids, in unspecified order.
+  std::vector<DataId> items() const;
+
+ private:
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::unordered_map<DataId, Bytes> sizes_;
+};
+
+}  // namespace dtn

@@ -1,0 +1,24 @@
+#include "net/message.h"
+
+namespace dtn {
+
+DataId DataRegistry::add(DataItem item) {
+  if (item.size <= 0) throw std::invalid_argument("data size must be positive");
+  if (item.expires <= item.created) {
+    throw std::invalid_argument("data must expire after creation");
+  }
+  const DataId id = static_cast<DataId>(items_.size());
+  item.id = id;
+  items_.push_back(item);
+  return id;
+}
+
+std::size_t DataRegistry::alive_count(Time now) const {
+  std::size_t count = 0;
+  for (const auto& item : items_) {
+    if (item.created <= now && item.alive(now)) ++count;
+  }
+  return count;
+}
+
+}  // namespace dtn

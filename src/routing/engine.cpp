@@ -1,0 +1,112 @@
+#include "routing/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/contact_graph.h"
+#include "graph/ncl.h"
+
+namespace dtn {
+
+std::vector<BundleMessage> generate_messages(
+    const RoutingExperimentConfig& config, const ContactTrace& trace) {
+  if (trace.node_count() < 2) throw std::invalid_argument("trace too small");
+  if (config.message_count == 0 || config.message_size <= 0 ||
+      !(config.ttl > 0.0)) {
+    throw std::invalid_argument("invalid routing workload");
+  }
+  Rng rng(config.seed);
+  const Time phase_start = trace.start_time() + trace.duration() / 2.0;
+  const Time phase_end = trace.end_time();
+
+  std::vector<BundleMessage> messages;
+  messages.reserve(config.message_count);
+  for (std::size_t i = 0; i < config.message_count; ++i) {
+    BundleMessage m;
+    m.id = static_cast<MessageId>(i);
+    m.source = static_cast<NodeId>(
+        rng.uniform_int(0, trace.node_count() - 1));
+    do {
+      m.destination = static_cast<NodeId>(
+          rng.uniform_int(0, trace.node_count() - 1));
+    } while (m.destination == m.source);
+    m.created = rng.uniform(phase_start, phase_end);
+    m.expires = m.created + config.ttl;
+    m.size = config.message_size;
+    messages.push_back(m);
+  }
+  std::sort(messages.begin(), messages.end(),
+            [](const BundleMessage& x, const BundleMessage& y) {
+              return x.created < y.created;
+            });
+  return messages;
+}
+
+RoutingResult run_routing(const ContactTrace& trace, Router& router,
+                          const RoutingExperimentConfig& config) {
+  const std::vector<BundleMessage> messages =
+      generate_messages(config, trace);
+
+  RateEstimator estimator(std::max<NodeId>(trace.node_count(), 2));
+  Rng rng(config.seed ^ 0x5EEDULL);
+  RoutingContext ctx;
+  ctx.rng = &rng;
+
+  AllPairsPaths paths;
+  const Time phase_start = trace.start_time() + trace.duration() / 2.0;
+  Time horizon = config.path_horizon;
+  Time next_maintenance = phase_start;
+
+  std::size_t mi = 0;
+  for (const auto& contact : trace.events()) {
+    // Inject messages due before this contact.
+    while (mi < messages.size() && messages[mi].created <= contact.start) {
+      ctx.now = messages[mi].created;
+      router.submit(ctx, messages[mi]);
+      ++mi;
+    }
+    estimator.record_contact(contact.a, contact.b, contact.start);
+    if (contact.start < phase_start) continue;
+
+    if (contact.start >= next_maintenance) {
+      const ContactGraph graph = estimator.snapshot(contact.start, 2);
+      if (horizon <= 0.0) horizon = calibrate_horizon(graph, 0.3);
+      paths = AllPairsPaths(graph, horizon, config.max_hops);
+      ctx.paths = &paths;
+      next_maintenance = contact.start + config.maintenance_interval;
+    }
+
+    ctx.now = contact.start;
+    LinkBudget budget(static_cast<Bytes>(
+        contact.duration * static_cast<double>(config.bandwidth_per_second)));
+    router.on_contact(ctx, contact.a, contact.b, budget);
+  }
+  // Late messages created after the last contact still count as submitted.
+  while (mi < messages.size()) {
+    ctx.now = messages[mi].created;
+    router.submit(ctx, messages[mi]);
+    ++mi;
+  }
+
+  RoutingResult result;
+  result.protocol = router.name();
+  RunningStats delay;
+  for (const auto& m : messages) {
+    const Time at = router.delivered_at(m.id);
+    if (at != kNever && at < m.expires) delay.add((at - m.created) / 3600.0);
+  }
+  result.delivery_ratio =
+      messages.empty() ? 0.0
+                       : static_cast<double>(delay.count()) /
+                             static_cast<double>(messages.size());
+  result.mean_delay_hours = delay.mean();
+  result.transmissions_per_message =
+      messages.empty() ? 0.0
+                       : static_cast<double>(router.transmissions()) /
+                             static_cast<double>(messages.size());
+  result.copies_in_flight_end =
+      static_cast<double>(router.copies_in_flight());
+  return result;
+}
+
+}  // namespace dtn

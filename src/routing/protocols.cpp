@@ -1,0 +1,80 @@
+#include "routing/protocols.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dtn {
+
+SprayAndWaitRouter::SprayAndWaitRouter(NodeId node_count, int copies)
+    : Router(node_count), copies_(copies) {
+  if (copies < 1) throw std::invalid_argument("copy budget must be >= 1");
+}
+
+std::string SprayAndWaitRouter::name() const {
+  return "SprayAndWait(L=" + std::to_string(copies_) + ")";
+}
+
+ProphetRouter::ProphetRouter(NodeId node_count)
+    : ProphetRouter(node_count, Params()) {}
+
+ProphetRouter::ProphetRouter(NodeId node_count, Params params)
+    : Router(node_count), params_(params), node_count_(node_count) {
+  if (params_.p_init <= 0.0 || params_.p_init > 1.0 || params_.beta < 0.0 ||
+      params_.beta > 1.0 || params_.gamma <= 0.0 || params_.gamma > 1.0 ||
+      params_.aging_unit <= 0.0) {
+    throw std::invalid_argument("invalid PROPHET parameters");
+  }
+  table_.assign(static_cast<std::size_t>(node_count) *
+                    static_cast<std::size_t>(node_count),
+                0.0);
+  last_aged_.assign(static_cast<std::size_t>(node_count), 0.0);
+}
+
+double ProphetRouter::predictability(NodeId node, NodeId dst) const {
+  return table_[static_cast<std::size_t>(node) *
+                    static_cast<std::size_t>(node_count_) +
+                static_cast<std::size_t>(dst)];
+}
+
+void ProphetRouter::age(NodeId node, Time now) {
+  Time& last = last_aged_[static_cast<std::size_t>(node)];
+  if (now <= last) return;
+  const double steps = (now - last) / params_.aging_unit;
+  const double factor = std::pow(params_.gamma, steps);
+  double* row = &table_[static_cast<std::size_t>(node) *
+                        static_cast<std::size_t>(node_count_)];
+  for (NodeId d = 0; d < node_count_; ++d) row[d] *= factor;
+  last = now;
+}
+
+void ProphetRouter::on_encounter(const RoutingContext& ctx, NodeId a,
+                                 NodeId b) {
+  age(a, ctx.now);
+  age(b, ctx.now);
+  auto at = [&](NodeId node, NodeId dst) -> double& {
+    return table_[static_cast<std::size_t>(node) *
+                      static_cast<std::size_t>(node_count_) +
+                  static_cast<std::size_t>(dst)];
+  };
+  // Direct reinforcement: P(a,b) += (1 - P(a,b)) * p_init, symmetric.
+  at(a, b) += (1.0 - at(a, b)) * params_.p_init;
+  at(b, a) += (1.0 - at(b, a)) * params_.p_init;
+  // Transitivity: P(a,d) += (1 - P(a,d)) * P(a,b) * P(b,d) * beta.
+  for (NodeId d = 0; d < node_count_; ++d) {
+    if (d == a || d == b) continue;
+    at(a, d) += (1.0 - at(a, d)) * at(a, b) * at(b, d) * params_.beta;
+    at(b, d) += (1.0 - at(b, d)) * at(b, a) * at(a, d) * params_.beta;
+  }
+}
+
+Router::Action ProphetRouter::decide(const RoutingContext& ctx,
+                                     const Copy& copy, NodeId holder,
+                                     NodeId peer) {
+  (void)ctx;
+  const NodeId dst = copy.message.destination;
+  return predictability(peer, dst) > predictability(holder, dst)
+             ? Action::kHandOver
+             : Action::kKeep;
+}
+
+}  // namespace dtn

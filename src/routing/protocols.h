@@ -1,0 +1,110 @@
+// The classic DTN unicast protocols, over the Router scaffold.
+#pragma once
+
+#include "routing/router.h"
+
+namespace dtn {
+
+/// Direct delivery: the source holds the bundle until it meets the
+/// destination. One copy, minimal cost, worst delay.
+class DirectDeliveryRouter : public Router {
+ public:
+  using Router::Router;
+  std::string name() const override { return "DirectDelivery"; }
+
+ protected:
+  Action decide(const RoutingContext&, const Copy&, NodeId, NodeId) override {
+    return Action::kKeep;  // only the destination check in the base fires
+  }
+};
+
+/// Epidemic routing (Vahdat & Becker): replicate to every encountered node
+/// that lacks the bundle. Delivery-optimal, cost-maximal — the paper's
+/// reference point for forwarding performance.
+class EpidemicRouter : public Router {
+ public:
+  using Router::Router;
+  std::string name() const override { return "Epidemic"; }
+
+ protected:
+  Action decide(const RoutingContext&, const Copy&, NodeId, NodeId) override {
+    return Action::kReplicate;
+  }
+};
+
+/// Binary spray-and-wait (Spyropoulos et al.): L copies total; a holder
+/// with more than one token gives half to each new encounter, a holder
+/// with one token waits for the destination.
+class SprayAndWaitRouter : public Router {
+ public:
+  SprayAndWaitRouter(NodeId node_count, int copies = 8);
+  std::string name() const override;
+
+ protected:
+  Action decide(const RoutingContext&, const Copy& copy, NodeId,
+                NodeId) override {
+    return copy.tokens > 1 ? Action::kReplicate : Action::kKeep;
+  }
+  int initial_tokens() const override { return copies_; }
+  int tokens_for_peer(int holder_tokens) const override {
+    return holder_tokens / 2;
+  }
+
+ private:
+  int copies_;
+};
+
+/// PROPHET (Lindgren et al.): per-node delivery predictabilities with
+/// direct reinforcement, aging and transitivity; a copy is handed to peers
+/// with higher predictability for its destination.
+class ProphetRouter : public Router {
+ public:
+  struct Params {
+    double p_init = 0.75;   ///< reinforcement on encounter
+    double beta = 0.25;     ///< transitivity factor
+    double gamma = 0.98;    ///< aging base (per aging unit)
+    Time aging_unit = 3600; ///< seconds per aging step
+  };
+
+  explicit ProphetRouter(NodeId node_count);
+  ProphetRouter(NodeId node_count, Params params);
+  std::string name() const override { return "PROPHET"; }
+
+  /// Current predictability P(node, dst) — exposed for tests.
+  double predictability(NodeId node, NodeId dst) const;
+
+ protected:
+  Action decide(const RoutingContext& ctx, const Copy& copy, NodeId holder,
+                NodeId peer) override;
+  void on_encounter(const RoutingContext& ctx, NodeId a, NodeId b) override;
+
+ private:
+  void age(NodeId node, Time now);
+
+  Params params_;
+  NodeId node_count_;
+  /// Row-major P table plus last-aging timestamps.
+  std::vector<double> table_;
+  std::vector<Time> last_aged_;
+};
+
+/// Gradient forwarding on opportunistic path weights — the substrate the
+/// NCL caching scheme itself uses for push/query/reply legs. Single copy,
+/// hands the bundle to any peer strictly closer (in delivery probability)
+/// to the destination.
+class GradientRouter : public Router {
+ public:
+  using Router::Router;
+  std::string name() const override { return "Gradient"; }
+
+ protected:
+  Action decide(const RoutingContext& ctx, const Copy& copy, NodeId holder,
+                NodeId peer) override {
+    const NodeId dst = copy.message.destination;
+    return ctx.path_weight(peer, dst) > ctx.path_weight(holder, dst)
+               ? Action::kHandOver
+               : Action::kKeep;
+  }
+};
+
+}  // namespace dtn

@@ -1,0 +1,112 @@
+#include "routing/router.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dtn {
+
+Router::Router(NodeId node_count)
+    : queues_(static_cast<std::size_t>(node_count)) {
+  if (node_count < 2) throw std::invalid_argument("need at least 2 nodes");
+}
+
+void Router::submit(const RoutingContext& ctx, const BundleMessage& message) {
+  if (message.source < 0 ||
+      message.source >= static_cast<NodeId>(queues_.size()) ||
+      message.destination < 0 ||
+      message.destination >= static_cast<NodeId>(queues_.size())) {
+    throw std::invalid_argument("message endpoints out of range");
+  }
+  ++submitted_;
+  if (message.source == message.destination) {
+    delivered_at_.emplace(message.id, ctx.now);
+    return;
+  }
+  Copy copy;
+  copy.message = message;
+  copy.tokens = initial_tokens();
+  queues_[static_cast<std::size_t>(message.source)].push_back(copy);
+}
+
+Time Router::delivered_at(MessageId id) const {
+  const auto it = delivered_at_.find(id);
+  return it == delivered_at_.end() ? kNever : it->second;
+}
+
+std::size_t Router::copies_in_flight() const {
+  std::size_t total = 0;
+  for (const auto& queue : queues_) total += queue.size();
+  return total;
+}
+
+bool Router::peer_has(NodeId node, MessageId id) const {
+  for (const auto& copy : queues_[static_cast<std::size_t>(node)]) {
+    if (copy.message.id == id) return true;
+  }
+  return false;
+}
+
+void Router::on_contact(const RoutingContext& ctx, NodeId a, NodeId b,
+                        LinkBudget& budget) {
+  on_encounter(ctx, a, b);
+  transfer_direction(ctx, a, b, budget);
+  transfer_direction(ctx, b, a, budget);
+}
+
+void Router::transfer_direction(const RoutingContext& ctx, NodeId from,
+                                NodeId to, LinkBudget& budget) {
+  auto& src = queues_[static_cast<std::size_t>(from)];
+  std::vector<Copy> kept;
+  kept.reserve(src.size());
+  for (auto& copy : src) {
+    const BundleMessage& m = copy.message;
+    if (!m.alive(ctx.now) || delivered(m.id)) continue;  // drop stale copies
+
+    // Destination encountered: always deliver (all protocols).
+    if (to == m.destination) {
+      if (budget.consume(m.size)) {
+        ++transmissions_;
+        delivered_at_.emplace(m.id, ctx.now);
+        continue;
+      }
+      kept.push_back(std::move(copy));
+      continue;
+    }
+
+    if (peer_has(to, m.id)) {
+      kept.push_back(std::move(copy));
+      continue;
+    }
+
+    switch (decide(ctx, copy, from, to)) {
+      case Action::kKeep:
+        kept.push_back(std::move(copy));
+        break;
+      case Action::kReplicate: {
+        if (!budget.consume(m.size)) {
+          kept.push_back(std::move(copy));
+          break;
+        }
+        ++transmissions_;
+        Copy replica = copy;
+        replica.tokens = tokens_for_peer(copy.tokens);
+        copy.tokens -= replica.tokens;
+        if (copy.tokens < 1) copy.tokens = 1;
+        queues_[static_cast<std::size_t>(to)].push_back(std::move(replica));
+        kept.push_back(std::move(copy));
+        break;
+      }
+      case Action::kHandOver:
+        if (!budget.consume(m.size)) {
+          kept.push_back(std::move(copy));
+          break;
+        }
+        ++transmissions_;
+        queues_[static_cast<std::size_t>(to)].push_back(std::move(copy));
+        break;
+    }
+  }
+  src = std::move(kept);
+}
+
+}  // namespace dtn

@@ -1,0 +1,127 @@
+// DTN unicast routing protocols.
+//
+// The paper builds on the carry-and-forward literature: queries, pushed
+// data and replies all ride some single- or multi-copy forwarding scheme
+// ("data can be sent to the requester by any existing data forwarding
+// protocol in DTNs", Sec. V-B). This module implements the classic
+// protocols behind one interface so they can be studied — and compared
+// against the opportunistic-path gradient the caching scheme uses — on the
+// same traces: direct delivery, epidemic, binary spray-and-wait, PROPHET
+// and path-weight gradient forwarding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "graph/all_pairs.h"
+#include "sim/link_budget.h"
+
+namespace dtn {
+
+using MessageId = std::int64_t;
+
+/// A unicast bundle: `source` wants `payload` bytes delivered to
+/// `destination` before `expires`.
+struct BundleMessage {
+  MessageId id = -1;
+  NodeId source = kNoNode;
+  NodeId destination = kNoNode;
+  Time created = 0.0;
+  Time expires = kNever;
+  Bytes size = 0;
+
+  bool alive(Time now) const { return now < expires; }
+};
+
+/// Context a router sees during a contact: the clock, the (periodically
+/// refreshed) opportunistic path tables, and a deterministic RNG.
+struct RoutingContext {
+  Time now = 0.0;
+  const AllPairsPaths* paths = nullptr;
+  Rng* rng = nullptr;
+
+  double path_weight(NodeId from, NodeId to) const {
+    if (paths == nullptr || paths->empty()) return from == to ? 1.0 : 0.0;
+    return paths->weight(from, to);
+  }
+};
+
+/// Base class: owns per-node bundle queues and delivery records; derived
+/// protocols implement the forwarding decision.
+class Router {
+ public:
+  explicit Router(NodeId node_count);
+  virtual ~Router() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Injects a new message at its source.
+  void submit(const RoutingContext& ctx, const BundleMessage& message);
+
+  /// Handles a contact between a and b (both directions).
+  void on_contact(const RoutingContext& ctx, NodeId a, NodeId b,
+                  LinkBudget& budget);
+
+  bool delivered(MessageId id) const { return delivered_at_.contains(id); }
+  /// Delivery time; kNever when not delivered.
+  Time delivered_at(MessageId id) const;
+
+  std::size_t submitted() const { return submitted_; }
+  std::size_t delivered_count() const { return delivered_at_.size(); }
+  std::uint64_t transmissions() const { return transmissions_; }
+
+  /// Total bundle copies currently buffered across nodes.
+  std::size_t copies_in_flight() const;
+
+ protected:
+  struct Copy {
+    BundleMessage message;
+    /// Remaining replication budget (used by spray-and-wait; others
+    /// ignore it).
+    int tokens = 1;
+  };
+
+  /// Forwarding decision for one copy at `holder` meeting `peer`.
+  enum class Action {
+    kKeep,       ///< do nothing this contact
+    kReplicate,  ///< give the peer a copy and keep ours
+    kHandOver,   ///< give the peer the copy and drop ours
+  };
+  virtual Action decide(const RoutingContext& ctx, const Copy& copy,
+                        NodeId holder, NodeId peer) = 0;
+
+  /// Hook: protocol-specific per-contact state update (PROPHET tables).
+  virtual void on_encounter(const RoutingContext& ctx, NodeId a, NodeId b) {
+    (void)ctx;
+    (void)a;
+    (void)b;
+  }
+
+  /// How many replication tokens a fresh message starts with.
+  virtual int initial_tokens() const { return 1; }
+
+  /// Splits the token budget on replication (spray-and-wait halves it).
+  virtual int tokens_for_peer(int holder_tokens) const {
+    (void)holder_tokens;
+    return 1;
+  }
+
+  std::vector<std::vector<Copy>>& queues() { return queues_; }
+
+ private:
+  void transfer_direction(const RoutingContext& ctx, NodeId from, NodeId to,
+                          LinkBudget& budget);
+  bool peer_has(NodeId node, MessageId id) const;
+
+  std::vector<std::vector<Copy>> queues_;
+  std::unordered_map<MessageId, Time> delivered_at_;
+  std::size_t submitted_ = 0;
+  std::uint64_t transmissions_ = 0;
+};
+
+}  // namespace dtn

@@ -1,0 +1,39 @@
+// Transfer budget of one contact session.
+//
+// The paper assumes bidirectional Bluetooth EDR links at 2.1 Mb/s; a contact
+// of duration d can carry at most d * bandwidth bytes in total. Schemes
+// charge every bundle they move against this budget; when it runs out, the
+// remaining transfers wait for a future contact.
+#pragma once
+
+#include "common/types.h"
+
+namespace dtn {
+
+class LinkBudget {
+ public:
+  explicit LinkBudget(Bytes capacity)
+      : capacity_(capacity < 0 ? 0 : capacity), remaining_(capacity_) {}
+
+  Bytes capacity() const { return capacity_; }
+  Bytes remaining() const { return remaining_; }
+  Bytes used() const { return capacity_ - remaining_; }
+  bool exhausted() const { return remaining_ <= 0; }
+
+  /// True if `amount` more bytes fit in this session.
+  bool can_transfer(Bytes amount) const { return amount <= remaining_; }
+
+  /// Charges `amount` bytes; returns false (charging nothing) when the
+  /// budget cannot cover it. Partial transfers are not modeled.
+  bool consume(Bytes amount) {
+    if (amount < 0 || amount > remaining_) return false;
+    remaining_ -= amount;
+    return true;
+  }
+
+ private:
+  Bytes capacity_;
+  Bytes remaining_;
+};
+
+}  // namespace dtn

@@ -1,0 +1,40 @@
+#include "sim/metrics.h"
+
+namespace dtn {
+
+void MetricsCollector::on_query_issued(const Query& query) {
+  (void)query;
+  ++queries_issued_;
+}
+
+void MetricsCollector::on_delivery(const Query& query, Time when) {
+  if (when >= query.expires) return;  // too late: does not count
+  if (!satisfied_.insert(query.id).second) {
+    ++duplicate_deliveries_;
+    return;
+  }
+  delay_.add(when - query.issued);
+  delays_.push_back(when - query.issued);
+}
+
+double MetricsCollector::delay_percentile(double q) const {
+  return percentile(delays_, q);
+}
+
+void MetricsCollector::sample_copy_count(double copies_per_item) {
+  copies_.add(copies_per_item);
+}
+
+double MetricsCollector::success_ratio() const {
+  if (queries_issued_ == 0) return 0.0;
+  return static_cast<double>(satisfied_.size()) /
+         static_cast<double>(queries_issued_);
+}
+
+double MetricsCollector::replacement_overhead() const {
+  if (data_count_ == 0) return 0.0;
+  return static_cast<double>(replaced_items_) /
+         static_cast<double>(data_count_);
+}
+
+}  // namespace dtn

@@ -1,0 +1,31 @@
+// A single opportunistic contact between two mobile nodes.
+#pragma once
+
+#include "common/types.h"
+
+namespace dtn {
+
+/// One contact: nodes `a` and `b` are within communication range during
+/// [start, start + duration). Contacts are symmetric (Sec. III-B of the
+/// paper), so the pair is stored in canonical order a < b.
+struct ContactEvent {
+  Time start = 0.0;
+  Time duration = 0.0;
+  NodeId a = kNoNode;
+  NodeId b = kNoNode;
+
+  Time end() const { return start + duration; }
+
+  friend bool operator==(const ContactEvent&, const ContactEvent&) = default;
+};
+
+/// Strict weak ordering by start time, tie-broken by (a, b) for determinism.
+struct ContactEventOrder {
+  bool operator()(const ContactEvent& x, const ContactEvent& y) const {
+    if (x.start != y.start) return x.start < y.start;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  }
+};
+
+}  // namespace dtn

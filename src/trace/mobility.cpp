@@ -1,0 +1,173 @@
+#include "trace/mobility.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dtn {
+namespace {
+
+void validate(const MobilityConfig& c) {
+  if (c.node_count < 2) throw std::invalid_argument("need at least 2 nodes");
+  if (!(c.duration > 0.0)) throw std::invalid_argument("duration must be > 0");
+  if (!(c.area_width > 0.0) || !(c.area_height > 0.0)) {
+    throw std::invalid_argument("area must be positive");
+  }
+  if (!(c.speed_min > 0.0) || c.speed_max < c.speed_min) {
+    throw std::invalid_argument("invalid speed range");
+  }
+  if (c.pause_min < 0.0 || c.pause_max < c.pause_min) {
+    throw std::invalid_argument("invalid pause range");
+  }
+  if (!(c.comm_range > 0.0)) throw std::invalid_argument("range must be > 0");
+  if (!(c.sample_interval > 0.0)) {
+    throw std::invalid_argument("sample interval must be > 0");
+  }
+  if (c.home_attachment < 0.0 || c.home_attachment > 1.0) {
+    throw std::invalid_argument("home_attachment must be in [0,1]");
+  }
+  if (c.home_sigma < 0.0) throw std::invalid_argument("home_sigma must be >= 0");
+}
+
+double distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+MobilitySimulator::MobilitySimulator(MobilityConfig config)
+    : config_(std::move(config)) {
+  validate(config_);
+  Rng master(config_.seed);
+  homes_.resize(static_cast<std::size_t>(config_.node_count));
+  legs_.resize(static_cast<std::size_t>(config_.node_count));
+  for (NodeId node = 0; node < config_.node_count; ++node) {
+    Rng node_rng = master.split();
+    homes_[static_cast<std::size_t>(node)] = Position{
+        node_rng.uniform(0.0, config_.area_width),
+        node_rng.uniform(0.0, config_.area_height)};
+    build_trajectory(node, node_rng);
+  }
+}
+
+void MobilitySimulator::build_trajectory(NodeId node, Rng& rng) {
+  auto& legs = legs_[static_cast<std::size_t>(node)];
+  const Position home = homes_[static_cast<std::size_t>(node)];
+
+  auto next_waypoint = [&]() {
+    if (config_.home_attachment > 0.0 && rng.bernoulli(config_.home_attachment)) {
+      const double x = home.x + rng.normal(0.0, config_.home_sigma);
+      const double y = home.y + rng.normal(0.0, config_.home_sigma);
+      return Position{std::clamp(x, 0.0, config_.area_width),
+                      std::clamp(y, 0.0, config_.area_height)};
+    }
+    return Position{rng.uniform(0.0, config_.area_width),
+                    rng.uniform(0.0, config_.area_height)};
+  };
+
+  Position current{rng.uniform(0.0, config_.area_width),
+                   rng.uniform(0.0, config_.area_height)};
+  Time t = 0.0;
+  while (t < config_.duration) {
+    const Time pause = rng.uniform(config_.pause_min, config_.pause_max);
+    const Position target = next_waypoint();
+    const double speed = rng.uniform(config_.speed_min, config_.speed_max);
+    const double d = distance(current, target);
+    Leg leg;
+    leg.start = t + pause;
+    leg.arrive = leg.start + (speed > 0.0 ? d / speed : 0.0);
+    leg.from = current;
+    leg.to = target;
+    legs.push_back(leg);
+    current = target;
+    t = leg.arrive;
+    if (legs.size() > 10'000'000) {
+      throw std::runtime_error("mobility trajectory unreasonably long");
+    }
+  }
+}
+
+Position MobilitySimulator::position(NodeId node, Time t) const {
+  const auto& legs = legs_.at(static_cast<std::size_t>(node));
+  assert(!legs.empty());
+  // Binary search for the leg whose [previous arrive, arrive] covers t.
+  auto it = std::lower_bound(
+      legs.begin(), legs.end(), t,
+      [](const Leg& leg, Time when) { return leg.arrive < when; });
+  if (it == legs.end()) return legs.back().to;
+  const Leg& leg = *it;
+  if (t <= leg.start) return leg.from;  // pausing at the previous waypoint
+  const double span = leg.arrive - leg.start;
+  const double fraction = span > 0.0 ? (t - leg.start) / span : 1.0;
+  return Position{leg.from.x + (leg.to.x - leg.from.x) * fraction,
+                  leg.from.y + (leg.to.y - leg.from.y) * fraction};
+}
+
+Position MobilitySimulator::home(NodeId node) const {
+  return homes_.at(static_cast<std::size_t>(node));
+}
+
+ContactTrace MobilitySimulator::generate(const std::string& name) const {
+  const NodeId n = config_.node_count;
+  std::vector<ContactEvent> events;
+  // contact_since[pair] >= 0 marks an ongoing contact's start time.
+  std::vector<Time> contact_since(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n), -1.0);
+  auto slot = [&](NodeId i, NodeId j) -> Time& {
+    return contact_since[static_cast<std::size_t>(i) *
+                             static_cast<std::size_t>(n) +
+                         static_cast<std::size_t>(j)];
+  };
+
+  std::vector<Position> positions(static_cast<std::size_t>(n));
+  for (Time t = 0.0; t <= config_.duration; t += config_.sample_interval) {
+    for (NodeId i = 0; i < n; ++i) {
+      positions[static_cast<std::size_t>(i)] = position(i, t);
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = i + 1; j < n; ++j) {
+        const bool in_range =
+            distance(positions[static_cast<std::size_t>(i)],
+                     positions[static_cast<std::size_t>(j)]) <=
+            config_.comm_range;
+        Time& since = slot(i, j);
+        if (in_range && since < 0.0) {
+          since = t;
+        } else if (!in_range && since >= 0.0) {
+          ContactEvent e;
+          e.start = since;
+          e.duration = std::max(t - since, config_.sample_interval);
+          e.a = i;
+          e.b = j;
+          events.push_back(e);
+          since = -1.0;
+        }
+      }
+    }
+  }
+  // Close contacts still open at the end of the simulation.
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      const Time since = slot(i, j);
+      if (since >= 0.0) {
+        ContactEvent e;
+        e.start = since;
+        e.duration = std::max(config_.duration - since, config_.sample_interval);
+        e.a = i;
+        e.b = j;
+        events.push_back(e);
+      }
+    }
+  }
+  return ContactTrace(n, std::move(events), name);
+}
+
+ContactTrace generate_mobility_trace(const MobilityConfig& config,
+                                     const std::string& name) {
+  return MobilitySimulator(config).generate(name);
+}
+
+}  // namespace dtn

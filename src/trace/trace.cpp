@@ -1,0 +1,68 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace dtn {
+
+ContactTrace::ContactTrace(NodeId node_count, std::vector<ContactEvent> events,
+                           std::string name)
+    : node_count_(node_count), events_(std::move(events)), name_(std::move(name)) {
+  if (node_count_ < 0) throw std::invalid_argument("negative node count");
+  for (auto& e : events_) {
+    if (e.a == e.b) throw std::invalid_argument("self-contact in trace");
+    if (e.a > e.b) std::swap(e.a, e.b);
+    if (e.a < 0 || e.b >= node_count_) {
+      throw std::invalid_argument("contact references node outside [0, N)");
+    }
+    if (e.duration < 0.0) throw std::invalid_argument("negative contact duration");
+  }
+  std::sort(events_.begin(), events_.end(), ContactEventOrder{});
+}
+
+Time ContactTrace::start_time() const {
+  return events_.empty() ? 0.0 : events_.front().start;
+}
+
+Time ContactTrace::end_time() const {
+  if (events_.empty()) return 0.0;
+  Time latest = events_.front().end();
+  // Events are sorted by start, not end; the last-ending contact can be
+  // anywhere, but in practice near the tail. Scan all for correctness.
+  for (const auto& e : events_) latest = std::max(latest, e.end());
+  return latest;
+}
+
+ContactTrace ContactTrace::slice(Time from, Time to) const {
+  std::vector<ContactEvent> selected;
+  for (const auto& e : events_) {
+    if (e.start >= from && e.start < to) selected.push_back(e);
+  }
+  return ContactTrace(node_count_, std::move(selected), name_);
+}
+
+TraceSummary summarize(const ContactTrace& trace) {
+  TraceSummary s;
+  s.name = trace.name();
+  s.devices = trace.node_count();
+  s.internal_contacts = trace.size();
+  s.duration_days = trace.duration() / 86400.0;
+
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  for (const auto& e : trace.events()) pairs.insert({e.a, e.b});
+  const double total_pairs =
+      static_cast<double>(trace.node_count()) *
+      static_cast<double>(trace.node_count() - 1) / 2.0;
+  s.pair_coverage = total_pairs > 0 ? static_cast<double>(pairs.size()) / total_pairs : 0.0;
+
+  if (!pairs.empty() && s.duration_days > 0.0) {
+    s.pairwise_contact_frequency_per_day =
+        static_cast<double>(trace.size()) /
+        static_cast<double>(pairs.size()) / s.duration_days;
+  }
+  return s;
+}
+
+}  // namespace dtn

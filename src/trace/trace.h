@@ -1,0 +1,60 @@
+// Contact trace container and summary statistics (paper Table I).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/contact_event.h"
+
+namespace dtn {
+
+/// An immutable-after-build, time-sorted sequence of contacts among
+/// `node_count` nodes. This is the substrate every experiment runs on:
+/// real traces load into it, synthetic generators produce it.
+class ContactTrace {
+ public:
+  ContactTrace() = default;
+
+  /// Takes ownership of events; sorts them by start time; validates node
+  /// ids against node_count. Negative durations are rejected.
+  ContactTrace(NodeId node_count, std::vector<ContactEvent> events,
+               std::string name = "trace");
+
+  NodeId node_count() const { return node_count_; }
+  const std::string& name() const { return name_; }
+  const std::vector<ContactEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Time of the first/last contact start (0 for an empty trace).
+  Time start_time() const;
+  Time end_time() const;
+  Time duration() const { return end_time() - start_time(); }
+
+  /// Returns the sub-trace with contacts starting in [from, to).
+  /// Node count and name are preserved.
+  ContactTrace slice(Time from, Time to) const;
+
+ private:
+  NodeId node_count_ = 0;
+  std::vector<ContactEvent> events_;
+  std::string name_;
+};
+
+/// The per-trace summary the paper reports in Table I.
+struct TraceSummary {
+  std::string name;
+  NodeId devices = 0;
+  std::size_t internal_contacts = 0;
+  double duration_days = 0.0;
+  /// Average contacts per node pair per day, over pairs that met at least
+  /// once — the paper's "pairwise contact frequency".
+  double pairwise_contact_frequency_per_day = 0.0;
+  /// Fraction of node pairs that ever met.
+  double pair_coverage = 0.0;
+};
+
+TraceSummary summarize(const ContactTrace& trace);
+
+}  // namespace dtn

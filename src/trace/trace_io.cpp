@@ -1,0 +1,70 @@
+#include "trace/trace_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dtn {
+
+void write_trace_csv(const ContactTrace& trace, std::ostream& out) {
+  out << "start,duration,a,b\n";
+  out.precision(17);
+  for (const auto& e : trace.events()) {
+    out << e.start << ',' << e.duration << ',' << e.a << ',' << e.b << '\n';
+  }
+  if (!out) throw std::runtime_error("failed writing trace CSV");
+}
+
+void save_trace_csv(const ContactTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_trace_csv(trace, out);
+}
+
+ContactTrace read_trace_csv(std::istream& in, std::string name,
+                            NodeId min_node_count) {
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("empty trace file");
+  // Tolerate but do not require the canonical header.
+  const bool header = line.rfind("start", 0) == 0;
+
+  std::vector<ContactEvent> events;
+  NodeId max_node = -1;
+  auto parse_line = [&](const std::string& text, std::size_t line_no) {
+    if (text.empty()) return;
+    std::istringstream cells(text);
+    ContactEvent e;
+    char c1 = 0, c2 = 0, c3 = 0;
+    if (!(cells >> e.start >> c1 >> e.duration >> c2 >> e.a >> c3 >> e.b) ||
+        c1 != ',' || c2 != ',' || c3 != ',') {
+      throw std::runtime_error("malformed trace CSV at line " +
+                               std::to_string(line_no) + ": " + text);
+    }
+    max_node = std::max({max_node, e.a, e.b});
+    events.push_back(e);
+  };
+
+  std::size_t line_no = 1;
+  if (!header) parse_line(line, line_no);
+  while (std::getline(in, line)) parse_line(line, ++line_no);
+
+  const NodeId node_count = std::max(min_node_count, max_node + 1);
+  return ContactTrace(node_count, std::move(events), std::move(name));
+}
+
+ContactTrace load_trace_csv(const std::string& path, NodeId min_node_count) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  // Name the trace after the file's basename.
+  std::string name = path;
+  if (auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (auto dot = name.find_last_of('.'); dot != std::string::npos) {
+    name = name.substr(0, dot);
+  }
+  return read_trace_csv(in, std::move(name), min_node_count);
+}
+
+}  // namespace dtn

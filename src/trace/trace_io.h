@@ -1,0 +1,30 @@
+// CSV persistence for contact traces.
+//
+// Format (one contact per line, header required):
+//   start,duration,a,b
+// Times are seconds (floating point); node ids are 0-based integers.
+// Real traces (e.g. CRAWDAD exports) convert to this format trivially, so
+// the whole evaluation pipeline runs unchanged on real data.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace dtn {
+
+/// Writes the trace to a stream / file. Throws std::runtime_error on I/O
+/// failure.
+void write_trace_csv(const ContactTrace& trace, std::ostream& out);
+void save_trace_csv(const ContactTrace& trace, const std::string& path);
+
+/// Reads a trace. `node_count` of the result is max(node id) + 1 unless a
+/// larger `min_node_count` is given. Throws std::runtime_error on malformed
+/// input.
+ContactTrace read_trace_csv(std::istream& in, std::string name = "trace",
+                            NodeId min_node_count = 0);
+ContactTrace load_trace_csv(const std::string& path,
+                            NodeId min_node_count = 0);
+
+}  // namespace dtn

@@ -1,0 +1,117 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dtn {
+namespace {
+
+void validate(const WorkloadConfig& c, NodeId node_count) {
+  if (node_count < 2) throw std::invalid_argument("need at least 2 nodes");
+  if (!(c.end > c.start)) throw std::invalid_argument("end must exceed start");
+  if (!(c.avg_lifetime > 0.0)) throw std::invalid_argument("T_L must be > 0");
+  if (c.generation_prob < 0.0 || c.generation_prob > 1.0) {
+    throw std::invalid_argument("p_G must be in [0,1]");
+  }
+  if (c.avg_size <= 0) throw std::invalid_argument("s_avg must be > 0");
+  if (c.zipf_exponent < 0.0) throw std::invalid_argument("zipf s must be >= 0");
+  if (!(c.query_constraint_factor > 0.0)) {
+    throw std::invalid_argument("query constraint factor must be > 0");
+  }
+}
+
+}  // namespace
+
+Workload::Workload(DataRegistry registry, std::vector<WorkloadEvent> events)
+    : registry_(std::move(registry)), events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const WorkloadEvent& a, const WorkloadEvent& b) {
+                     return a.time < b.time;
+                   });
+  for (const auto& e : events_) {
+    if (e.kind == WorkloadEvent::Kind::kQueryIssued) ++query_count_;
+  }
+}
+
+Workload generate_workload(const WorkloadConfig& config, NodeId node_count) {
+  validate(config, node_count);
+  Rng rng(config.seed);
+
+  DataRegistry registry;
+  std::vector<WorkloadEvent> events;
+
+  // ---- Data generation ----
+  // Per-node check ticks with random phase so nodes are not synchronized.
+  struct NodeGenState {
+    Time next_tick;
+    Time live_until = -1.0;  // expiry of this node's current live item
+  };
+  std::vector<NodeGenState> gen(static_cast<std::size_t>(node_count));
+  for (auto& g : gen) g.next_tick = config.start + rng.uniform() * config.avg_lifetime;
+
+  // Process node ticks in time order (simple round-based scan is fine: each
+  // node's ticks are T_L apart, and cross-node ordering only matters for
+  // the deterministic rng draw order, which the per-draw sequence fixes).
+  for (NodeId node = 0; node < node_count; ++node) {
+    auto& g = gen[static_cast<std::size_t>(node)];
+    for (Time t = g.next_tick; t < config.end; t += config.avg_lifetime) {
+      if (t < g.live_until) continue;  // still has a live item
+      if (!rng.bernoulli(config.generation_prob)) continue;
+      DataItem item;
+      item.source = node;
+      item.created = t;
+      const Time lifetime = rng.uniform(0.5, 1.5) * config.avg_lifetime;
+      item.expires = t + lifetime;
+      item.size = static_cast<Bytes>(rng.uniform(0.5, 1.5) *
+                                     static_cast<double>(config.avg_size));
+      const DataId id = registry.add(item);
+      g.live_until = item.expires;
+
+      WorkloadEvent e;
+      e.time = t;
+      e.kind = WorkloadEvent::Kind::kDataGenerated;
+      e.data = id;
+      events.push_back(e);
+    }
+  }
+
+  // ---- Query generation ----
+  const Time t_q = config.query_constraint_factor * config.avg_lifetime;
+  QueryId next_query = 0;
+  for (NodeId node = 0; node < node_count; ++node) {
+    Time tick = config.start + rng.uniform() * t_q;
+    for (Time t = tick; t < config.end; t += t_q) {
+      // Alive data items at time t, ranked by creation order (older ids
+      // have lower rank numbers => higher popularity).
+      std::vector<DataId> alive;
+      for (std::size_t i = 0; i < registry.size(); ++i) {
+        const DataItem& item = registry.get(static_cast<DataId>(i));
+        if (item.created <= t && item.alive(t)) {
+          alive.push_back(item.id);
+        }
+      }
+      if (alive.empty()) continue;
+      const ZipfDistribution zipf(alive.size(), config.zipf_exponent);
+      for (std::size_t rank = 1; rank <= alive.size(); ++rank) {
+        const DataId target = alive[rank - 1];
+        if (registry.get(target).source == node) continue;  // already has it
+        if (!rng.bernoulli(zipf.probability(rank))) continue;
+        Query q;
+        q.id = next_query++;
+        q.requester = node;
+        q.data = target;
+        q.issued = t;
+        q.expires = t + t_q;
+        WorkloadEvent e;
+        e.time = t;
+        e.kind = WorkloadEvent::Kind::kQueryIssued;
+        e.query = q;
+        events.push_back(e);
+      }
+    }
+  }
+
+  return Workload(std::move(registry), std::move(events));
+}
+
+}  // namespace dtn

@@ -1,0 +1,66 @@
+// Workload generation following the paper's experiment setup (Sec. VI-A).
+//
+// Data: each node checks every T_L (with a per-node random phase) whether it
+// still has a live generated item; if not it generates one with probability
+// p_G. Lifetimes are U[0.5 T_L, 1.5 T_L], sizes U[0.5 s_avg, 1.5 s_avg].
+// Queries: every T_L/2 each node requests data j with its Zipf probability
+// P_j over the items currently alive; each query carries time constraint
+// T_L/2. All workload randomness is pre-generated from a seed, so every
+// scheme in a comparison sees the *identical* workload.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/message.h"
+#include "workload/zipf.h"
+
+namespace dtn {
+
+struct WorkloadConfig {
+  Time start = 0.0;  ///< data/query generation begins (end of warm-up)
+  Time end = 0.0;    ///< generation stops (trace end)
+
+  Time avg_lifetime = weeks(1);     ///< T_L
+  double generation_prob = 0.2;     ///< p_G
+  Bytes avg_size = megabits(100);   ///< s_avg
+  double zipf_exponent = 1.0;       ///< s
+
+  /// Query time constraint as a fraction of T_L (paper: 1/2).
+  double query_constraint_factor = 0.5;
+
+  std::uint64_t seed = 42;
+};
+
+/// One timeline entry: either a data generation or a query.
+struct WorkloadEvent {
+  enum class Kind { kDataGenerated, kQueryIssued };
+  Time time = 0.0;
+  Kind kind = Kind::kDataGenerated;
+  DataId data = kNoData;   ///< valid for kDataGenerated
+  Query query;             ///< valid for kQueryIssued
+};
+
+/// A fully pre-generated workload: the data registry plus the time-sorted
+/// event sequence.
+class Workload {
+ public:
+  Workload(DataRegistry registry, std::vector<WorkloadEvent> events);
+
+  const DataRegistry& registry() const { return registry_; }
+  const std::vector<WorkloadEvent>& events() const { return events_; }
+
+  std::size_t data_count() const { return registry_.size(); }
+  std::size_t query_count() const { return query_count_; }
+
+ private:
+  DataRegistry registry_;
+  std::vector<WorkloadEvent> events_;
+  std::size_t query_count_ = 0;
+};
+
+/// Generates the workload for `node_count` nodes. Deterministic in the seed.
+Workload generate_workload(const WorkloadConfig& config, NodeId node_count);
+
+}  // namespace dtn

@@ -1,0 +1,42 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dtn {
+
+ZipfDistribution::ZipfDistribution(std::size_t item_count, double exponent)
+    : exponent_(exponent) {
+  if (item_count == 0) throw std::invalid_argument("zipf needs >= 1 item");
+  if (exponent < 0.0) throw std::invalid_argument("zipf exponent must be >= 0");
+  probabilities_.resize(item_count);
+  double total = 0.0;
+  for (std::size_t j = 1; j <= item_count; ++j) {
+    probabilities_[j - 1] = 1.0 / std::pow(static_cast<double>(j), exponent);
+    total += probabilities_[j - 1];
+  }
+  cumulative_.resize(item_count);
+  double running = 0.0;
+  for (std::size_t j = 0; j < item_count; ++j) {
+    probabilities_[j] /= total;
+    running += probabilities_[j];
+    cumulative_[j] = running;
+  }
+  cumulative_.back() = 1.0;  // guard against round-off
+}
+
+double ZipfDistribution::probability(std::size_t rank) const {
+  if (rank == 0 || rank > probabilities_.size()) {
+    throw std::out_of_range("zipf rank out of range");
+  }
+  return probabilities_[rank - 1];
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+}  // namespace dtn

@@ -1,0 +1,32 @@
+// Zipf query popularity (paper Eq. 8 and Fig. 9(b)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dtn {
+
+/// P_j = (1/j^s) / sum_i (1/i^s) over ranks j = 1..M. Rank 1 is the most
+/// popular. `exponent` is the paper's s.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t item_count, double exponent);
+
+  std::size_t item_count() const { return probabilities_.size(); }
+  double exponent() const { return exponent_; }
+
+  /// Probability of rank j (1-based, as in the paper).
+  double probability(std::size_t rank) const;
+
+  /// Samples a 0-based index according to the distribution.
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  double exponent_;
+  std::vector<double> probabilities_;  // 0-based
+  std::vector<double> cumulative_;
+};
+
+}  // namespace dtn

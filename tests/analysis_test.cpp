@@ -1,0 +1,117 @@
+#include "graph/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.h"
+
+namespace dtn {
+namespace {
+
+ContactGraph triangle_plus_isolate() {
+  // 0-1-2 triangle; 3 isolated; 4-5 pair.
+  ContactGraph g(6);
+  g.set_rate(0, 1, 1.0);
+  g.set_rate(1, 2, 2.0);
+  g.set_rate(0, 2, 3.0);
+  g.set_rate(4, 5, 1.0);
+  return g;
+}
+
+TEST(Analysis, Degrees) {
+  const auto d = degrees(triangle_plus_isolate());
+  EXPECT_EQ(d[0], 2u);
+  EXPECT_EQ(d[1], 2u);
+  EXPECT_EQ(d[2], 2u);
+  EXPECT_EQ(d[3], 0u);
+  EXPECT_EQ(d[4], 1u);
+  EXPECT_EQ(d[5], 1u);
+}
+
+TEST(Analysis, DegreeStats) {
+  const DegreeStats s = degree_stats(triangle_plus_isolate());
+  EXPECT_DOUBLE_EQ(s.mean, 8.0 / 6.0);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+  EXPECT_GT(s.gini, 0.0);
+}
+
+TEST(Analysis, DegreeStatsEmptyGraph) {
+  const DegreeStats s = degree_stats(ContactGraph(0));
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(Analysis, WeightedDegrees) {
+  const auto w = weighted_degrees(triangle_plus_isolate());
+  EXPECT_DOUBLE_EQ(w[0], 4.0);  // 1 + 3
+  EXPECT_DOUBLE_EQ(w[1], 3.0);  // 1 + 2
+  EXPECT_DOUBLE_EQ(w[2], 5.0);  // 2 + 3
+  EXPECT_DOUBLE_EQ(w[3], 0.0);
+}
+
+TEST(Analysis, ClusteringCoefficient) {
+  const ContactGraph g = triangle_plus_isolate();
+  // Triangle nodes: both neighbors connected -> 1.0.
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g, 0), 1.0);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g, 1), 1.0);
+  // Degree < 2 -> 0.
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g, 3), 0.0);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g, 4), 0.0);
+}
+
+TEST(Analysis, ClusteringOfStarIsZero) {
+  ContactGraph g(5);
+  for (NodeId i = 1; i < 5; ++i) g.set_rate(0, i, 1.0);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g, 0), 0.0);
+  EXPECT_DOUBLE_EQ(average_clustering(g), 0.0);
+}
+
+TEST(Analysis, AverageClustering) {
+  const double avg = average_clustering(triangle_plus_isolate());
+  EXPECT_NEAR(avg, 3.0 / 6.0, 1e-12);  // three 1.0 nodes of six
+}
+
+TEST(Analysis, ConnectedComponents) {
+  const Components c = connected_components(triangle_plus_isolate());
+  EXPECT_EQ(c.count, 3);
+  EXPECT_EQ(c.component[0], c.component[1]);
+  EXPECT_EQ(c.component[1], c.component[2]);
+  EXPECT_NE(c.component[0], c.component[3]);
+  EXPECT_EQ(c.component[4], c.component[5]);
+  EXPECT_NE(c.component[3], c.component[4]);
+  EXPECT_EQ(c.largest(), 3u);
+}
+
+TEST(Analysis, SingleComponentWhenConnected) {
+  ContactGraph g(4);
+  g.set_rate(0, 1, 1.0);
+  g.set_rate(1, 2, 1.0);
+  g.set_rate(2, 3, 1.0);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 1);
+  EXPECT_EQ(c.largest(), 4u);
+}
+
+TEST(Analysis, SyntheticCommunityTraceHasHighClustering) {
+  // Community structure should show up as clustering well above a random
+  // graph of similar density.
+  SyntheticTraceConfig with_comm;
+  with_comm.node_count = 60;
+  with_comm.duration = days(10);
+  with_comm.target_total_contacts = 8000;
+  with_comm.community_count = 5;
+  with_comm.intra_community_boost = 20.0;
+  with_comm.pair_fraction = 0.15;
+  with_comm.seed = 9;
+
+  SyntheticTraceConfig without = with_comm;
+  without.community_count = 0;
+
+  const double c_with = average_clustering(
+      build_contact_graph(generate_trace(with_comm), -1.0, 2));
+  const double c_without = average_clustering(
+      build_contact_graph(generate_trace(without), -1.0, 2));
+  EXPECT_GT(c_with, c_without);
+}
+
+}  // namespace
+}  // namespace dtn

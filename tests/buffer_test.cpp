@@ -1,0 +1,111 @@
+#include "net/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dtn {
+namespace {
+
+TEST(CacheBuffer, StartsEmpty) {
+  CacheBuffer b(100);
+  EXPECT_EQ(b.capacity(), 100);
+  EXPECT_EQ(b.used(), 0);
+  EXPECT_EQ(b.free(), 100);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(CacheBuffer, InsertAccounting) {
+  CacheBuffer b(100);
+  EXPECT_TRUE(b.insert(1, 40));
+  EXPECT_EQ(b.used(), 40);
+  EXPECT_EQ(b.free(), 60);
+  EXPECT_TRUE(b.contains(1));
+  EXPECT_EQ(b.size_of(1), 40);
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(CacheBuffer, RejectsOverflow) {
+  CacheBuffer b(100);
+  EXPECT_TRUE(b.insert(1, 80));
+  EXPECT_FALSE(b.insert(2, 30));
+  EXPECT_EQ(b.used(), 80);
+  EXPECT_FALSE(b.contains(2));
+}
+
+TEST(CacheBuffer, ExactFitAllowed) {
+  CacheBuffer b(100);
+  EXPECT_TRUE(b.insert(1, 100));
+  EXPECT_EQ(b.free(), 0);
+  EXPECT_FALSE(b.fits(1));
+}
+
+TEST(CacheBuffer, DuplicateInsertRejected) {
+  CacheBuffer b(100);
+  EXPECT_TRUE(b.insert(1, 10));
+  EXPECT_FALSE(b.insert(1, 10));
+  EXPECT_EQ(b.used(), 10);
+}
+
+TEST(CacheBuffer, EraseReleasesSpace) {
+  CacheBuffer b(100);
+  b.insert(1, 60);
+  EXPECT_TRUE(b.erase(1));
+  EXPECT_EQ(b.used(), 0);
+  EXPECT_FALSE(b.contains(1));
+  EXPECT_FALSE(b.erase(1));
+}
+
+TEST(CacheBuffer, NonPositiveSizeThrows) {
+  CacheBuffer b(100);
+  EXPECT_THROW(b.insert(1, 0), std::invalid_argument);
+  EXPECT_THROW(b.insert(1, -5), std::invalid_argument);
+}
+
+TEST(CacheBuffer, NegativeCapacityThrows) {
+  EXPECT_THROW(CacheBuffer(-1), std::invalid_argument);
+}
+
+TEST(CacheBuffer, ZeroCapacityAcceptsNothing) {
+  CacheBuffer b(0);
+  EXPECT_FALSE(b.insert(1, 1));
+  EXPECT_FALSE(b.fits(1));
+}
+
+TEST(CacheBuffer, ItemsListsAllStored) {
+  CacheBuffer b(100);
+  b.insert(3, 10);
+  b.insert(7, 20);
+  b.insert(9, 30);
+  auto items = b.items();
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, (std::vector<DataId>{3, 7, 9}));
+}
+
+TEST(CacheBuffer, SizeOfMissingThrows) {
+  CacheBuffer b(10);
+  EXPECT_THROW(b.size_of(42), std::out_of_range);
+}
+
+TEST(CacheBuffer, InvariantHeldAcrossManyOperations) {
+  CacheBuffer b(1000);
+  Bytes expected_used = 0;
+  for (DataId id = 0; id < 50; ++id) {
+    const Bytes size = (id % 7 + 1) * 10;
+    if (b.insert(id, size)) expected_used += size;
+    EXPECT_EQ(b.used(), expected_used);
+    EXPECT_LE(b.used(), b.capacity());
+  }
+  for (DataId id = 0; id < 50; id += 2) {
+    if (b.contains(id)) {
+      expected_used -= b.size_of(id);
+      b.erase(id);
+    }
+    EXPECT_EQ(b.used(), expected_used);
+  }
+}
+
+}  // namespace
+}  // namespace dtn

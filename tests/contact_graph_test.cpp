@@ -1,0 +1,200 @@
+#include "graph/contact_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "trace/synthetic.h"
+
+namespace dtn {
+namespace {
+
+TEST(ContactGraph, EmptyGraph) {
+  ContactGraph g(5);
+  EXPECT_EQ(g.node_count(), 5);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.rate(0, 1), 0.0);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(ContactGraph, SetRateSymmetric) {
+  ContactGraph g(3);
+  g.set_rate(0, 2, 0.5);
+  EXPECT_DOUBLE_EQ(g.rate(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(g.rate(2, 0), 0.5);
+  EXPECT_EQ(g.edge_count(), 1u);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].node, 2);
+  ASSERT_EQ(g.neighbors(2).size(), 1u);
+  EXPECT_EQ(g.neighbors(2)[0].node, 0);
+}
+
+TEST(ContactGraph, OverwriteUpdatesBothDirections) {
+  ContactGraph g(3);
+  g.set_rate(0, 1, 0.5);
+  g.set_rate(1, 0, 0.9);
+  EXPECT_DOUBLE_EQ(g.rate(0, 1), 0.9);
+  EXPECT_DOUBLE_EQ(g.rate(1, 0), 0.9);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(ContactGraph, InvalidEdgesRejected) {
+  ContactGraph g(3);
+  EXPECT_THROW(g.set_rate(1, 1, 0.5), std::invalid_argument);
+  EXPECT_THROW(g.set_rate(0, 3, 0.5), std::invalid_argument);
+  EXPECT_THROW(g.set_rate(-1, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW(g.set_rate(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.set_rate(0, 1, -2.0), std::invalid_argument);
+}
+
+TEST(ContactGraph, RateQueriesOutOfRangeReturnZero) {
+  ContactGraph g(3);
+  g.set_rate(0, 1, 1.0);
+  EXPECT_EQ(g.rate(0, 5), 0.0);
+  EXPECT_EQ(g.rate(-1, 0), 0.0);
+  EXPECT_EQ(g.rate(1, 1), 0.0);
+}
+
+TEST(RateEstimator, TimeAveragedRate) {
+  RateEstimator est(3);
+  est.record_contact(0, 1, 10.0);
+  est.record_contact(0, 1, 20.0);
+  est.record_contact(1, 0, 30.0);  // symmetric pair
+  EXPECT_EQ(est.contact_count(0, 1), 3u);
+  EXPECT_DOUBLE_EQ(est.rate(0, 1, 100.0), 0.03);
+  EXPECT_DOUBLE_EQ(est.rate(1, 0, 100.0), 0.03);
+  EXPECT_EQ(est.rate(0, 2, 100.0), 0.0);
+}
+
+TEST(RateEstimator, RateAtZeroTimeIsZero) {
+  RateEstimator est(2);
+  est.record_contact(0, 1, 0.0);
+  EXPECT_EQ(est.rate(0, 1, 0.0), 0.0);
+}
+
+TEST(RateEstimator, NegativeContactTimeThrows) {
+  RateEstimator est(2);
+  EXPECT_THROW(est.record_contact(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(RateEstimator, SnapshotFiltersByMinContacts) {
+  RateEstimator est(3);
+  est.record_contact(0, 1, 1.0);
+  est.record_contact(0, 1, 2.0);
+  est.record_contact(1, 2, 3.0);
+  const ContactGraph g1 = est.snapshot(10.0, 1);
+  EXPECT_EQ(g1.edge_count(), 2u);
+  const ContactGraph g2 = est.snapshot(10.0, 2);
+  EXPECT_EQ(g2.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(g2.rate(0, 1), 0.2);
+  EXPECT_EQ(g2.rate(1, 2), 0.0);
+}
+
+TEST(RateEstimator, SnapshotAtZeroTimeIsEmpty) {
+  RateEstimator est(3);
+  est.record_contact(0, 1, 0.0);
+  EXPECT_EQ(est.snapshot(0.0).edge_count(), 0u);
+}
+
+TEST(DecayingRateEstimator, SteadyStateMatchesCumulative) {
+  // With regular contacts and a decay long enough, the decayed estimate
+  // converges to the true rate just like the cumulative one.
+  const Time decay = 10000.0;
+  RateEstimator decaying(2, decay);
+  RateEstimator cumulative(2);
+  const double true_rate = 0.01;  // one contact per 100 s
+  for (int i = 1; i <= 2000; ++i) {
+    decaying.record_contact(0, 1, i * 100.0);
+    cumulative.record_contact(0, 1, i * 100.0);
+  }
+  const Time now = 2000 * 100.0;
+  EXPECT_NEAR(decaying.rate(0, 1, now), true_rate, 0.15 * true_rate);
+  EXPECT_NEAR(cumulative.rate(0, 1, now), true_rate, 0.01 * true_rate);
+}
+
+TEST(DecayingRateEstimator, ForgetsSilentPairs) {
+  const Time decay = 1000.0;
+  RateEstimator est(2, decay);
+  for (int i = 1; i <= 50; ++i) est.record_contact(0, 1, i * 100.0);
+  const double fresh = est.rate(0, 1, 5000.0);
+  const double stale = est.rate(0, 1, 5000.0 + 10.0 * decay);
+  EXPECT_GT(fresh, 0.0);
+  EXPECT_LT(stale, fresh * 1e-3);
+}
+
+TEST(DecayingRateEstimator, CumulativeNeverForgets) {
+  RateEstimator est(2);  // decay = 0: the paper's cumulative mode
+  for (int i = 1; i <= 50; ++i) est.record_contact(0, 1, i * 100.0);
+  const double fresh = est.rate(0, 1, 5000.0);
+  const double later = est.rate(0, 1, 10000.0);
+  // Cumulative decays only hyperbolically (count/now), not exponentially.
+  EXPECT_NEAR(later, fresh / 2.0, 1e-12);
+}
+
+TEST(DecayingRateEstimator, SnapshotDropsFadedPairs) {
+  const Time decay = 100.0;
+  RateEstimator est(3, decay);
+  est.record_contact(0, 1, 10.0);
+  est.record_contact(0, 1, 20.0);
+  est.record_contact(1, 2, 10.0);
+  est.record_contact(1, 2, 1000.0);  // pair 1-2 stays fresh
+  const ContactGraph g = est.snapshot(1000.0, 2);
+  EXPECT_GT(g.rate(1, 2), 0.0);
+  // Pair 0-1 faded by ~e^-9.8: still positive mathematically, but orders
+  // of magnitude below the fresh pair.
+  EXPECT_LT(g.rate(0, 1), g.rate(1, 2) * 1e-3);
+}
+
+TEST(DecayingRateEstimator, DecayAccessor) {
+  EXPECT_EQ(RateEstimator(2).decay(), 0.0);
+  EXPECT_EQ(RateEstimator(2, 500.0).decay(), 500.0);
+  EXPECT_EQ(RateEstimator(2, -5.0).decay(), 0.0);  // clamped to cumulative
+}
+
+TEST(BuildContactGraph, FromTraceCountsUpToHorizon) {
+  std::vector<ContactEvent> events;
+  for (int i = 0; i < 10; ++i) {
+    ContactEvent e;
+    e.start = 100.0 * (i + 1);
+    e.duration = 10.0;
+    e.a = 0;
+    e.b = 1;
+    events.push_back(e);
+  }
+  const ContactTrace trace(2, events);
+  const ContactGraph full = build_contact_graph(trace);
+  EXPECT_GT(full.rate(0, 1), 0.0);
+  // Horizon at 550: only 5 contacts counted over 550 seconds.
+  const ContactGraph half = build_contact_graph(trace, 550.0);
+  EXPECT_NEAR(half.rate(0, 1), 5.0 / 550.0, 1e-12);
+}
+
+TEST(BuildContactGraph, EstimatedRatesConvergeToTruth) {
+  SyntheticTraceConfig c;
+  c.node_count = 10;
+  c.duration = days(30);
+  c.target_total_contacts = 50000;
+  c.seed = 3;
+  const ContactTrace trace = generate_trace(c);
+  const PairRates truth(c);
+  const ContactGraph estimated = build_contact_graph(trace);
+
+  // Compare the strongest pair: relative error should be small with many
+  // samples.
+  double best_rate = 0.0;
+  NodeId bi = 0, bj = 1;
+  for (NodeId i = 0; i < c.node_count; ++i) {
+    for (NodeId j = i + 1; j < c.node_count; ++j) {
+      if (truth.rate(i, j) > best_rate) {
+        best_rate = truth.rate(i, j);
+        bi = i;
+        bj = j;
+      }
+    }
+  }
+  const double est = estimated.rate(bi, bj);
+  EXPECT_NEAR(est / best_rate, 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,284 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/link_budget.h"
+
+namespace dtn {
+namespace {
+
+/// Records every hook invocation for assertions.
+class RecordingScheme : public Scheme {
+ public:
+  std::string name() const override { return "recording"; }
+
+  void on_start(SimServices& services) override {
+    start_count++;
+    start_time = services.now();
+  }
+  void on_maintenance(SimServices& services) override {
+    maintenance_times.push_back(services.now());
+    paths_available = !services.paths().empty();
+  }
+  void on_data_generated(SimServices& services, const DataItem& item) override {
+    data_events.push_back({services.now(), item.id});
+  }
+  void on_query(SimServices& services, const Query& query) override {
+    query_times.push_back(services.now());
+    if (deliver_immediately) services.deliver(query);
+  }
+  void on_contact(SimServices& services, NodeId a, NodeId b,
+                  LinkBudget& budget) override {
+    contacts.push_back({services.now(), a, b, budget.capacity()});
+  }
+  std::size_t cached_copies(Time) const override { return fake_copies; }
+
+  struct ContactRecord {
+    Time when;
+    NodeId a, b;
+    Bytes budget;
+  };
+  int start_count = 0;
+  Time start_time = -1.0;
+  bool paths_available = false;
+  bool deliver_immediately = false;
+  std::size_t fake_copies = 0;
+  std::vector<std::pair<Time, DataId>> data_events;
+  std::vector<Time> query_times;
+  std::vector<Time> maintenance_times;
+  std::vector<ContactRecord> contacts;
+};
+
+ContactTrace simple_trace() {
+  std::vector<ContactEvent> events;
+  for (int i = 0; i < 20; ++i) {
+    ContactEvent e;
+    e.start = 100.0 * (i + 1);
+    e.duration = 50.0;
+    e.a = i % 3;
+    e.b = (i % 3 + 1) % 4 == i % 3 ? 3 : (i % 3 + 1);
+    if (e.a == e.b) e.b = (e.a + 1) % 4;
+    events.push_back(e);
+  }
+  return ContactTrace(4, events, "engine-test");
+}
+
+Workload simple_workload(Time start, Time end) {
+  DataRegistry registry;
+  std::vector<WorkloadEvent> events;
+
+  DataItem item;
+  item.source = 0;
+  item.created = start;
+  item.expires = end + 1000.0;
+  item.size = 100;
+  const DataId id = registry.add(item);
+  WorkloadEvent gen;
+  gen.time = start;
+  gen.kind = WorkloadEvent::Kind::kDataGenerated;
+  gen.data = id;
+  events.push_back(gen);
+
+  Query q;
+  q.id = 0;
+  q.requester = 2;
+  q.data = id;
+  q.issued = start + 300.0;
+  q.expires = start + 900.0;
+  WorkloadEvent qe;
+  qe.time = q.issued;
+  qe.kind = WorkloadEvent::Kind::kQueryIssued;
+  qe.query = q;
+  events.push_back(qe);
+
+  return Workload(std::move(registry), std::move(events));
+}
+
+SimConfig test_config() {
+  SimConfig c;
+  c.path_horizon = 600.0;
+  c.maintenance_interval = 500.0;
+  c.min_contacts_for_rate = 1;
+  return c;
+}
+
+TEST(Engine, StartCalledOnceBeforeFirstDataEvent) {
+  RecordingScheme scheme;
+  const auto trace = simple_trace();
+  run_simulation(trace, simple_workload(1000.0, 2000.0), scheme, test_config());
+  EXPECT_EQ(scheme.start_count, 1);
+  ASSERT_FALSE(scheme.data_events.empty());
+  EXPECT_LE(scheme.start_time, scheme.data_events.front().first);
+}
+
+TEST(Engine, WarmupContactsNotDelivered) {
+  RecordingScheme scheme;
+  run_simulation(simple_trace(), simple_workload(1000.0, 2000.0), scheme,
+                 test_config());
+  for (const auto& c : scheme.contacts) {
+    EXPECT_GE(c.when, 1000.0);
+  }
+}
+
+TEST(Engine, AllDataPhaseContactsDelivered) {
+  RecordingScheme scheme;
+  const auto result = run_simulation(simple_trace(), simple_workload(1000.0, 2000.0),
+                                     scheme, test_config());
+  // Contacts at 1000..2000: events at 1000,1100,...,2000 inclusive = 11.
+  EXPECT_EQ(result.contacts_processed, scheme.contacts.size());
+  EXPECT_EQ(scheme.contacts.size(), 11u);
+}
+
+TEST(Engine, LinkBudgetFromDurationAndBandwidth) {
+  RecordingScheme scheme;
+  SimConfig config = test_config();
+  config.bandwidth_per_second = 1000;  // bytes/s
+  run_simulation(simple_trace(), simple_workload(1000.0, 2000.0), scheme, config);
+  for (const auto& c : scheme.contacts) {
+    EXPECT_EQ(c.budget, 50 * 1000);  // 50 s contacts
+  }
+}
+
+TEST(Engine, MaintenanceTicksAtInterval) {
+  RecordingScheme scheme;
+  run_simulation(simple_trace(), simple_workload(1000.0, 2000.0), scheme,
+                 test_config());
+  ASSERT_GE(scheme.maintenance_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(scheme.maintenance_times[0], 1000.0);
+  EXPECT_DOUBLE_EQ(scheme.maintenance_times[1], 1500.0);
+  EXPECT_TRUE(scheme.paths_available);
+}
+
+TEST(Engine, QueryCountsInMetrics) {
+  RecordingScheme scheme;
+  const auto result = run_simulation(simple_trace(), simple_workload(1000.0, 2000.0),
+                                     scheme, test_config());
+  EXPECT_EQ(result.metrics.queries_issued(), 1u);
+  EXPECT_EQ(result.metrics.queries_satisfied(), 0u);
+  EXPECT_EQ(result.metrics.success_ratio(), 0.0);
+}
+
+TEST(Engine, ImmediateDeliveryRecordsZeroDelay) {
+  RecordingScheme scheme;
+  scheme.deliver_immediately = true;
+  const auto result = run_simulation(simple_trace(), simple_workload(1000.0, 2000.0),
+                                     scheme, test_config());
+  EXPECT_EQ(result.metrics.queries_satisfied(), 1u);
+  EXPECT_DOUBLE_EQ(result.metrics.success_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(result.metrics.mean_delay(), 0.0);
+}
+
+TEST(Engine, CopySamplingUsesAliveItems) {
+  RecordingScheme scheme;
+  scheme.fake_copies = 4;
+  const auto result = run_simulation(simple_trace(), simple_workload(1000.0, 2000.0),
+                                     scheme, test_config());
+  // One data item alive during sampling: copies/item = 4.
+  EXPECT_DOUBLE_EQ(result.metrics.mean_copies(), 4.0);
+}
+
+TEST(Engine, InvalidConfigsThrow) {
+  RecordingScheme scheme;
+  SimConfig c = test_config();
+  c.bandwidth_per_second = 0;
+  EXPECT_THROW(run_simulation(simple_trace(), simple_workload(1000.0, 2000.0),
+                              scheme, c),
+               std::invalid_argument);
+  c = test_config();
+  c.path_horizon = 0.0;
+  EXPECT_THROW(run_simulation(simple_trace(), simple_workload(1000.0, 2000.0),
+                              scheme, c),
+               std::invalid_argument);
+  c = test_config();
+  c.maintenance_interval = 0.0;
+  EXPECT_THROW(run_simulation(simple_trace(), simple_workload(1000.0, 2000.0),
+                              scheme, c),
+               std::invalid_argument);
+  c = test_config();
+  c.max_hops = 0;
+  EXPECT_THROW(run_simulation(simple_trace(), simple_workload(1000.0, 2000.0),
+                              scheme, c),
+               std::invalid_argument);
+}
+
+TEST(MetricsCollector, LateDeliveryDoesNotCount) {
+  MetricsCollector m;
+  Query q;
+  q.id = 1;
+  q.issued = 0.0;
+  q.expires = 10.0;
+  m.on_query_issued(q);
+  m.on_delivery(q, 10.0);  // exactly at expiry: too late
+  EXPECT_EQ(m.queries_satisfied(), 0u);
+  m.on_delivery(q, 5.0);
+  EXPECT_EQ(m.queries_satisfied(), 1u);
+  EXPECT_DOUBLE_EQ(m.mean_delay(), 5.0);
+}
+
+TEST(MetricsCollector, DuplicateDeliveriesCountedSeparately) {
+  MetricsCollector m;
+  Query q;
+  q.id = 1;
+  q.issued = 0.0;
+  q.expires = 10.0;
+  m.on_query_issued(q);
+  m.on_delivery(q, 2.0);
+  m.on_delivery(q, 3.0);
+  EXPECT_EQ(m.queries_satisfied(), 1u);
+  EXPECT_EQ(m.duplicate_deliveries(), 1u);
+  EXPECT_DOUBLE_EQ(m.mean_delay(), 2.0);
+}
+
+TEST(MetricsCollector, DelayPercentiles) {
+  MetricsCollector m;
+  for (QueryId id = 0; id < 10; ++id) {
+    Query q;
+    q.id = id;
+    q.issued = 0.0;
+    q.expires = 1000.0;
+    m.on_query_issued(q);
+    m.on_delivery(q, static_cast<double>(id + 1) * 10.0);  // 10..100
+  }
+  EXPECT_DOUBLE_EQ(m.delay_percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(m.delay_percentile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(m.delay_percentile(0.5), 55.0);
+  EXPECT_DOUBLE_EQ(m.mean_delay(), 55.0);
+}
+
+TEST(MetricsCollector, DelayPercentileEmptyIsZero) {
+  MetricsCollector m;
+  EXPECT_EQ(m.delay_percentile(0.5), 0.0);
+}
+
+TEST(MetricsCollector, ReplacementOverheadNormalized) {
+  MetricsCollector m;
+  m.set_data_count(4);
+  m.on_replacement(2);
+  m.on_replacement(6);
+  EXPECT_DOUBLE_EQ(m.replacement_overhead(), 2.0);
+}
+
+TEST(LinkBudget, ConsumeSemantics) {
+  LinkBudget b(100);
+  EXPECT_EQ(b.capacity(), 100);
+  EXPECT_TRUE(b.can_transfer(100));
+  EXPECT_TRUE(b.consume(60));
+  EXPECT_EQ(b.remaining(), 40);
+  EXPECT_EQ(b.used(), 60);
+  EXPECT_FALSE(b.consume(50));
+  EXPECT_EQ(b.remaining(), 40);  // failed consume charges nothing
+  EXPECT_TRUE(b.consume(40));
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_FALSE(b.consume(-1));
+}
+
+TEST(LinkBudget, NegativeCapacityClamped) {
+  LinkBudget b(-10);
+  EXPECT_EQ(b.capacity(), 0);
+  EXPECT_TRUE(b.exhausted());
+}
+
+}  // namespace
+}  // namespace dtn

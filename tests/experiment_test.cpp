@@ -1,0 +1,168 @@
+#include "experiment/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.h"
+
+namespace dtn {
+namespace {
+
+SyntheticTraceConfig tiny_trace_config() {
+  SyntheticTraceConfig c;
+  c.name = "tiny";
+  c.node_count = 20;
+  c.duration = days(6);
+  c.target_total_contacts = 12000;
+  c.popularity_shape = 1.8;
+  c.seed = 11;
+  return c;
+}
+
+ExperimentConfig tiny_experiment_config() {
+  ExperimentConfig c;
+  c.avg_lifetime = hours(12);
+  c.avg_data_size = megabits(50);
+  c.ncl_count = 3;
+  c.repetitions = 1;
+  c.sim.path_horizon = hours(3);
+  c.sim.maintenance_interval = hours(6);
+  c.seed = 5;
+  return c;
+}
+
+TEST(Experiment, SchemeKindNames) {
+  EXPECT_EQ(scheme_kind_name(SchemeKind::kNclCache), "NCL-Cache");
+  EXPECT_EQ(scheme_kind_name(SchemeKind::kNoCache), "NoCache");
+  EXPECT_EQ(scheme_kind_name(SchemeKind::kRandomCache), "RandomCache");
+  EXPECT_EQ(scheme_kind_name(SchemeKind::kCacheData), "CacheData");
+  EXPECT_EQ(scheme_kind_name(SchemeKind::kBundleCache), "BundleCache");
+}
+
+TEST(Experiment, BufferCapacitiesWithinRange) {
+  ExperimentConfig c = tiny_experiment_config();
+  const auto buffers = draw_buffer_capacities(c, 50, 9);
+  ASSERT_EQ(buffers.size(), 50u);
+  for (Bytes b : buffers) {
+    EXPECT_GE(b, c.buffer_min);
+    EXPECT_LE(b, c.buffer_max);
+  }
+}
+
+TEST(Experiment, BufferCapacitiesDeterministic) {
+  ExperimentConfig c = tiny_experiment_config();
+  EXPECT_EQ(draw_buffer_capacities(c, 10, 4), draw_buffer_capacities(c, 10, 4));
+}
+
+TEST(Experiment, InvalidBufferRangeThrows) {
+  ExperimentConfig c = tiny_experiment_config();
+  c.buffer_min = 100;
+  c.buffer_max = 50;
+  EXPECT_THROW(draw_buffer_capacities(c, 10, 1), std::invalid_argument);
+}
+
+TEST(Experiment, WarmupSelectionPicksRequestedCount) {
+  const ContactTrace trace = generate_trace(tiny_trace_config());
+  const ExperimentConfig config = tiny_experiment_config();
+  const NclSelection sel = warmup_ncl_selection(trace, config);
+  EXPECT_EQ(sel.central_nodes.size(), 3u);
+  // Central nodes must be among the best-connected: their metric exceeds
+  // the median.
+  std::vector<double> sorted = sel.metric;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  for (NodeId c : sel.central_nodes) {
+    EXPECT_GE(sel.metric[static_cast<std::size_t>(c)], median);
+  }
+}
+
+TEST(Experiment, MakeSchemeProducesAllKinds) {
+  const ContactTrace trace = generate_trace(tiny_trace_config());
+  const ExperimentConfig config = tiny_experiment_config();
+  const NclSelection sel = warmup_ncl_selection(trace, config);
+  for (SchemeKind kind :
+       {SchemeKind::kNclCache, SchemeKind::kNoCache, SchemeKind::kRandomCache,
+        SchemeKind::kCacheData, SchemeKind::kBundleCache}) {
+    const auto buffers = draw_buffer_capacities(config, trace.node_count(), 1);
+    const auto scheme = make_scheme(kind, config, sel, buffers);
+    ASSERT_NE(scheme, nullptr);
+    EXPECT_EQ(scheme->name(), scheme_kind_name(kind));
+  }
+}
+
+TEST(Experiment, RunProducesQueriesAndDeliveries) {
+  const ContactTrace trace = generate_trace(tiny_trace_config());
+  const ExperimentConfig config = tiny_experiment_config();
+  const ExperimentResult r =
+      run_experiment(trace, SchemeKind::kNclCache, config);
+  EXPECT_EQ(r.scheme, "NCL-Cache");
+  EXPECT_GT(r.queries_issued.mean(), 0.0);
+  EXPECT_GT(r.success_ratio.mean(), 0.0);
+  EXPECT_LE(r.success_ratio.mean(), 1.0);
+}
+
+TEST(Experiment, RepetitionsAggregated) {
+  const ContactTrace trace = generate_trace(tiny_trace_config());
+  ExperimentConfig config = tiny_experiment_config();
+  config.repetitions = 3;
+  const ExperimentResult r =
+      run_experiment(trace, SchemeKind::kNoCache, config);
+  EXPECT_EQ(r.success_ratio.count(), 3u);
+}
+
+TEST(Experiment, ComparisonRunsAllSchemes) {
+  const ContactTrace trace = generate_trace(tiny_trace_config());
+  const ExperimentConfig config = tiny_experiment_config();
+  const auto results = run_comparison(
+      trace, {SchemeKind::kNclCache, SchemeKind::kNoCache}, config);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].scheme, "NCL-Cache");
+  EXPECT_EQ(results[1].scheme, "NoCache");
+}
+
+TEST(Experiment, InvalidRepetitionsThrow) {
+  const ContactTrace trace = generate_trace(tiny_trace_config());
+  ExperimentConfig config = tiny_experiment_config();
+  config.repetitions = 0;
+  EXPECT_THROW(run_experiment(trace, SchemeKind::kNoCache, config),
+               std::invalid_argument);
+}
+
+TEST(Experiment, SigmoidParametersPassThrough) {
+  // Invalid sigmoid anchors must surface as an exception when the sigmoid
+  // response mode is actually exercised.
+  const ContactTrace trace = generate_trace(tiny_trace_config());
+  ExperimentConfig config = tiny_experiment_config();
+  config.response_mode = ResponseMode::kSigmoid;
+  config.sigmoid = SigmoidResponse{0.2, 0.8};  // p_min <= p_max/2: invalid
+  EXPECT_THROW(run_experiment(trace, SchemeKind::kNclCache, config),
+               std::invalid_argument);
+  config.sigmoid = SigmoidResponse{0.45, 0.8};
+  EXPECT_NO_THROW(run_experiment(trace, SchemeKind::kNclCache, config));
+}
+
+TEST(Experiment, AutoHorizonOverridesFixed) {
+  const ContactTrace trace = generate_trace(tiny_trace_config());
+  ExperimentConfig config = tiny_experiment_config();
+  const ContactGraph graph = warmup_graph(trace, config);
+  config.auto_horizon = false;
+  config.sim.path_horizon = hours(5);
+  EXPECT_DOUBLE_EQ(effective_horizon(graph, config), hours(5));
+  config.auto_horizon = true;
+  const Time calibrated = effective_horizon(graph, config);
+  EXPECT_GT(calibrated, 0.0);
+  EXPECT_NE(calibrated, hours(5));
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  const ContactTrace trace = generate_trace(tiny_trace_config());
+  const ExperimentConfig config = tiny_experiment_config();
+  const ExperimentResult a =
+      run_experiment(trace, SchemeKind::kNclCache, config);
+  const ExperimentResult b =
+      run_experiment(trace, SchemeKind::kNclCache, config);
+  EXPECT_DOUBLE_EQ(a.success_ratio.mean(), b.success_ratio.mean());
+  EXPECT_DOUBLE_EQ(a.copies_per_item.mean(), b.copies_per_item.mean());
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,80 @@
+// Tests for the adaptive path-horizon calibration (Sec. IV-B's rule).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/ncl.h"
+#include "trace/synthetic.h"
+
+namespace dtn {
+namespace {
+
+ContactGraph sample_graph() {
+  SyntheticTraceConfig c;
+  c.node_count = 30;
+  c.duration = days(10);
+  c.target_total_contacts = 6000;
+  c.popularity_shape = 1.7;
+  c.pair_fraction = 0.5;
+  c.seed = 13;
+  return build_contact_graph(generate_trace(c), -1.0, 2);
+}
+
+double median_metric(const ContactGraph& g, Time horizon) {
+  std::vector<double> m = ncl_metrics(g, horizon);
+  std::sort(m.begin(), m.end());
+  return m[m.size() / 2];
+}
+
+TEST(CalibrateHorizon, HitsTargetMedian) {
+  const ContactGraph g = sample_graph();
+  for (double target : {0.2, 0.3, 0.5}) {
+    const Time horizon = calibrate_horizon(g, target);
+    EXPECT_NEAR(median_metric(g, horizon), target, 0.05) << "target " << target;
+  }
+}
+
+TEST(CalibrateHorizon, MonotoneInTarget) {
+  const ContactGraph g = sample_graph();
+  const Time low = calibrate_horizon(g, 0.2);
+  const Time high = calibrate_horizon(g, 0.6);
+  EXPECT_LT(low, high);
+}
+
+TEST(CalibrateHorizon, ClampsToBounds) {
+  const ContactGraph g = sample_graph();
+  // A target so small that even the minimum horizon overshoots it.
+  const Time t = calibrate_horizon(g, 1e-9, /*min_horizon=*/hours(1),
+                                   /*max_horizon=*/hours(2));
+  EXPECT_DOUBLE_EQ(t, hours(1));
+  // A target so large that even the maximum horizon undershoots.
+  const Time t2 = calibrate_horizon(g, 0.999999, hours(1), hours(2));
+  EXPECT_DOUBLE_EQ(t2, hours(2));
+}
+
+TEST(CalibrateHorizon, InvalidArgumentsThrow) {
+  const ContactGraph g = sample_graph();
+  EXPECT_THROW(calibrate_horizon(g, 0.0), std::invalid_argument);
+  EXPECT_THROW(calibrate_horizon(g, 1.0), std::invalid_argument);
+  EXPECT_THROW(calibrate_horizon(g, 0.3, 0.0), std::invalid_argument);
+  EXPECT_THROW(calibrate_horizon(g, 0.3, 100.0, 50.0), std::invalid_argument);
+}
+
+TEST(CalibrateHorizon, Deterministic) {
+  const ContactGraph g = sample_graph();
+  EXPECT_DOUBLE_EQ(calibrate_horizon(g, 0.3), calibrate_horizon(g, 0.3));
+}
+
+TEST(CalibrateHorizon, MetricIsMonotoneInHorizon) {
+  // The property the bisection relies on.
+  const ContactGraph g = sample_graph();
+  double prev = 0.0;
+  for (double h : {0.5, 1.0, 4.0, 12.0, 48.0}) {
+    const double m = median_metric(g, hours(h));
+    EXPECT_GE(m, prev - 1e-12);
+    prev = m;
+  }
+}
+
+}  // namespace
+}  // namespace dtn

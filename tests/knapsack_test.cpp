@@ -1,0 +1,127 @@
+#include "cache/knapsack.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace dtn {
+namespace {
+
+TEST(Knapsack, EmptyItems) {
+  const KnapsackResult r = solve_knapsack({}, 100);
+  EXPECT_TRUE(r.selected.empty());
+  EXPECT_EQ(r.total_value, 0.0);
+}
+
+TEST(Knapsack, ZeroCapacity) {
+  const KnapsackResult r = solve_knapsack({{1.0, 10}}, 0);
+  EXPECT_TRUE(r.selected.empty());
+}
+
+TEST(Knapsack, SingleItemFits) {
+  const KnapsackResult r = solve_knapsack({{2.5, 10}}, 100, 1);
+  ASSERT_EQ(r.selected.size(), 1u);
+  EXPECT_EQ(r.selected[0], 0u);
+  EXPECT_DOUBLE_EQ(r.total_value, 2.5);
+  EXPECT_EQ(r.total_size, 10);
+}
+
+TEST(Knapsack, SingleItemTooBig) {
+  const KnapsackResult r = solve_knapsack({{2.5, 200}}, 100, 1);
+  EXPECT_TRUE(r.selected.empty());
+}
+
+TEST(Knapsack, ClassicOptimum) {
+  // Items (value, size): capacity 10 -> optimal {1, 2} with value 9.
+  const std::vector<KnapsackItem> items{{6.0, 6}, {5.0, 5}, {4.0, 5}};
+  const KnapsackResult r = solve_knapsack(items, 10, 1);
+  EXPECT_DOUBLE_EQ(r.total_value, 9.0);
+  EXPECT_EQ(r.total_size, 10);
+  ASSERT_EQ(r.selected.size(), 2u);
+  EXPECT_EQ(r.selected[0], 1u);
+  EXPECT_EQ(r.selected[1], 2u);
+}
+
+TEST(Knapsack, PrefersHighValueOverCount) {
+  const std::vector<KnapsackItem> items{{10.0, 10}, {1.0, 1}, {1.0, 1}};
+  const KnapsackResult r = solve_knapsack(items, 10, 1);
+  EXPECT_DOUBLE_EQ(r.total_value, 10.0);
+}
+
+TEST(Knapsack, QuantizationRoundsSizesUp) {
+  // With unit = 10, a size-11 item occupies 2 units; capacity 20 units = 2.
+  const std::vector<KnapsackItem> items{{5.0, 11}, {5.0, 11}};
+  const KnapsackResult r = solve_knapsack(items, 20, 10);
+  // Each item costs 2 quantized units; only one fits in 2 units.
+  EXPECT_EQ(r.selected.size(), 1u);
+}
+
+TEST(Knapsack, QuantizedSelectionNeverExceedsByteCapacity) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<KnapsackItem> items;
+    for (int i = 0; i < 12; ++i) {
+      items.push_back({rng.uniform(0.0, 1.0), rng.uniform_int(1, 5000)});
+    }
+    const Bytes capacity = rng.uniform_int(1000, 20000);
+    const KnapsackResult r = solve_knapsack(items, capacity, 256);
+    EXPECT_LE(r.total_size, capacity);
+  }
+}
+
+TEST(Knapsack, InvalidInputs) {
+  EXPECT_THROW(solve_knapsack({{1.0, 0}}, 10, 1), std::invalid_argument);
+  EXPECT_THROW(solve_knapsack({{-1.0, 5}}, 10, 1), std::invalid_argument);
+  EXPECT_THROW(solve_knapsack({{1.0, 5}}, 10, 0), std::invalid_argument);
+}
+
+TEST(Knapsack, ZeroValueItemsMaySelect) {
+  // Zero-value items don't improve the DP objective; whether they are
+  // selected is unspecified, but the result must remain feasible.
+  const KnapsackResult r = solve_knapsack({{0.0, 5}, {0.0, 5}}, 10, 1);
+  EXPECT_LE(r.total_size, 10);
+}
+
+// Property: DP matches exhaustive search on random small instances.
+class KnapsackVsBruteForce : public testing::TestWithParam<int> {};
+
+TEST_P(KnapsackVsBruteForce, OptimalValue) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL + 1);
+  const int n = 3 + GetParam() % 8;
+  std::vector<KnapsackItem> items;
+  for (int i = 0; i < n; ++i) {
+    // Sizes in whole units so quantization does not alter the instance.
+    items.push_back({rng.uniform(0.0, 10.0), rng.uniform_int(1, 12) * 10});
+  }
+  const Bytes capacity = rng.uniform_int(2, 50) * 10;
+
+  double best = 0.0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    double value = 0.0;
+    Bytes size = 0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) {
+        value += items[static_cast<std::size_t>(i)].value;
+        size += items[static_cast<std::size_t>(i)].size;
+      }
+    }
+    if (size <= capacity) best = std::max(best, value);
+  }
+
+  const KnapsackResult r = solve_knapsack(items, capacity, 10);
+  EXPECT_NEAR(r.total_value, best, 1e-9);
+  EXPECT_LE(r.total_size, capacity);
+  // Reported value must equal the sum of the selected items.
+  double check = 0.0;
+  for (std::size_t idx : r.selected) check += items[idx].value;
+  EXPECT_NEAR(check, r.total_value, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, KnapsackVsBruteForce,
+                         testing::Range(0, 30));
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,74 @@
+#include "net/message.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dtn {
+namespace {
+
+DataItem make_item(NodeId source, Time created, Time expires, Bytes size) {
+  DataItem item;
+  item.source = source;
+  item.created = created;
+  item.expires = expires;
+  item.size = size;
+  return item;
+}
+
+TEST(DataItem, Liveness) {
+  const DataItem item = make_item(0, 10.0, 20.0, 100);
+  EXPECT_TRUE(item.alive(15.0));
+  EXPECT_FALSE(item.alive(20.0));
+  EXPECT_FALSE(item.alive(25.0));
+  EXPECT_DOUBLE_EQ(item.lifetime(), 10.0);
+}
+
+TEST(Query, TimeConstraintAndRemaining) {
+  Query q;
+  q.issued = 100.0;
+  q.expires = 160.0;
+  EXPECT_DOUBLE_EQ(q.time_constraint(), 60.0);
+  EXPECT_DOUBLE_EQ(q.remaining(130.0), 30.0);
+  EXPECT_TRUE(q.alive(159.0));
+  EXPECT_FALSE(q.alive(160.0));
+}
+
+TEST(DataRegistry, AssignsDenseIds) {
+  DataRegistry reg;
+  const DataId a = reg.add(make_item(0, 0.0, 10.0, 1));
+  const DataId b = reg.add(make_item(1, 0.0, 10.0, 1));
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.get(a).id, a);
+  EXPECT_EQ(reg.get(b).source, 1);
+}
+
+TEST(DataRegistry, RejectsInvalidItems) {
+  DataRegistry reg;
+  EXPECT_THROW(reg.add(make_item(0, 0.0, 10.0, 0)), std::invalid_argument);
+  EXPECT_THROW(reg.add(make_item(0, 10.0, 10.0, 5)), std::invalid_argument);
+  EXPECT_THROW(reg.add(make_item(0, 10.0, 5.0, 5)), std::invalid_argument);
+}
+
+TEST(DataRegistry, AliveCount) {
+  DataRegistry reg;
+  reg.add(make_item(0, 0.0, 10.0, 1));
+  reg.add(make_item(0, 5.0, 15.0, 1));
+  reg.add(make_item(0, 20.0, 30.0, 1));
+  EXPECT_EQ(reg.alive_count(-1.0), 0u);
+  EXPECT_EQ(reg.alive_count(6.0), 2u);
+  EXPECT_EQ(reg.alive_count(12.0), 1u);
+  EXPECT_EQ(reg.alive_count(17.0), 0u);
+  EXPECT_EQ(reg.alive_count(25.0), 1u);
+  EXPECT_EQ(reg.alive_count(100.0), 0u);
+}
+
+TEST(DataRegistry, GetOutOfRangeThrows) {
+  DataRegistry reg;
+  EXPECT_THROW(reg.get(0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dtn

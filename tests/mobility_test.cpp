@@ -1,0 +1,160 @@
+#include "trace/mobility.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "graph/contact_graph.h"
+#include "graph/analysis.h"
+
+namespace dtn {
+namespace {
+
+MobilityConfig small_config() {
+  MobilityConfig c;
+  c.node_count = 12;
+  c.duration = hours(6);
+  c.area_width = 300.0;
+  c.area_height = 300.0;
+  c.comm_range = 40.0;
+  c.sample_interval = 10.0;
+  c.seed = 5;
+  return c;
+}
+
+double dist(const Position& a, const Position& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+TEST(Mobility, DeterministicForSameSeed) {
+  const ContactTrace a = generate_mobility_trace(small_config());
+  const ContactTrace b = generate_mobility_trace(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i], b.events()[i]);
+  }
+}
+
+TEST(Mobility, DifferentSeedsDiffer) {
+  MobilityConfig c = small_config();
+  const ContactTrace a = generate_mobility_trace(c);
+  c.seed = 99;
+  const ContactTrace b = generate_mobility_trace(c);
+  EXPECT_NE(a.size(), b.size());
+}
+
+TEST(Mobility, PositionsStayInsideArea) {
+  const MobilityConfig c = small_config();
+  const MobilitySimulator sim(c);
+  for (NodeId node = 0; node < c.node_count; ++node) {
+    for (Time t = 0.0; t <= c.duration; t += 137.0) {
+      const Position p = sim.position(node, t);
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, c.area_width);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, c.area_height);
+    }
+  }
+}
+
+TEST(Mobility, MovementRespectsSpeedLimit) {
+  const MobilityConfig c = small_config();
+  const MobilitySimulator sim(c);
+  const Time dt = 5.0;
+  for (NodeId node = 0; node < 4; ++node) {
+    for (Time t = 0.0; t + dt <= c.duration; t += dt) {
+      const double moved = dist(sim.position(node, t), sim.position(node, t + dt));
+      EXPECT_LE(moved, c.speed_max * dt + 1e-6);
+    }
+  }
+}
+
+TEST(Mobility, ContactsMatchRangeAtStart) {
+  const MobilityConfig c = small_config();
+  const MobilitySimulator sim(c);
+  const ContactTrace trace = sim.generate();
+  ASSERT_GT(trace.size(), 0u);
+  for (const auto& e : trace.events()) {
+    const double d = dist(sim.position(e.a, e.start), sim.position(e.b, e.start));
+    EXPECT_LE(d, c.comm_range + 1e-6);
+  }
+}
+
+TEST(Mobility, ContactDurationsPositiveAndWithinTrace) {
+  const MobilityConfig c = small_config();
+  const ContactTrace trace = generate_mobility_trace(c);
+  for (const auto& e : trace.events()) {
+    EXPECT_GE(e.duration, c.sample_interval);
+    EXPECT_GE(e.start, 0.0);
+    EXPECT_LE(e.start, c.duration);
+  }
+}
+
+TEST(Mobility, LargerRangeMeansMoreContactTime) {
+  MobilityConfig c = small_config();
+  c.comm_range = 20.0;
+  const ContactTrace narrow = generate_mobility_trace(c);
+  c.comm_range = 80.0;
+  const ContactTrace wide = generate_mobility_trace(c);
+  auto total_time = [](const ContactTrace& t) {
+    double total = 0.0;
+    for (const auto& e : t.events()) total += e.duration;
+    return total;
+  };
+  EXPECT_GT(total_time(wide), total_time(narrow));
+}
+
+TEST(Mobility, HomeAttachmentCreatesHubs) {
+  // Nodes with central homes should accumulate more contacts than nodes
+  // parked in a corner: weighted degree inequality grows vs pure RWP.
+  MobilityConfig rwp = small_config();
+  rwp.node_count = 20;
+  rwp.duration = hours(12);
+  MobilityConfig homed = rwp;
+  homed.home_attachment = 0.9;
+  homed.home_sigma = 30.0;
+
+  const ContactGraph g_rwp =
+      build_contact_graph(generate_mobility_trace(rwp));
+  const ContactGraph g_homed =
+      build_contact_graph(generate_mobility_trace(homed));
+
+  const double gini_rwp = gini(weighted_degrees(g_rwp));
+  const double gini_homed = gini(weighted_degrees(g_homed));
+  EXPECT_GT(gini_homed, gini_rwp);
+}
+
+TEST(Mobility, InvalidConfigsThrow) {
+  MobilityConfig c = small_config();
+  c.node_count = 1;
+  EXPECT_THROW(MobilitySimulator{c}, std::invalid_argument);
+  c = small_config();
+  c.comm_range = 0.0;
+  EXPECT_THROW(MobilitySimulator{c}, std::invalid_argument);
+  c = small_config();
+  c.speed_min = 0.0;
+  EXPECT_THROW(MobilitySimulator{c}, std::invalid_argument);
+  c = small_config();
+  c.speed_max = c.speed_min / 2.0;
+  EXPECT_THROW(MobilitySimulator{c}, std::invalid_argument);
+  c = small_config();
+  c.home_attachment = 1.5;
+  EXPECT_THROW(MobilitySimulator{c}, std::invalid_argument);
+  c = small_config();
+  c.sample_interval = 0.0;
+  EXPECT_THROW(MobilitySimulator{c}, std::invalid_argument);
+}
+
+TEST(Mobility, TraceFeedsStandardPipeline) {
+  // The generated trace must run through the normal graph machinery.
+  MobilityConfig c = small_config();
+  c.node_count = 15;
+  c.duration = hours(12);
+  const ContactTrace trace = generate_mobility_trace(c);
+  const ContactGraph graph = build_contact_graph(trace);
+  EXPECT_GT(graph.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,112 @@
+#include "cache/popularity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dtn {
+namespace {
+
+TEST(Popularity, FreshEstimatorHasZeroPopularity) {
+  PopularityEstimator e;
+  EXPECT_EQ(e.request_count(), 0u);
+  EXPECT_EQ(e.request_rate(), 0.0);
+  EXPECT_EQ(e.popularity(0.0, 100.0), 0.0);
+}
+
+TEST(Popularity, SingleRequestStillZeroRate) {
+  PopularityEstimator e;
+  e.record_request(5.0);
+  EXPECT_EQ(e.request_count(), 1u);
+  EXPECT_EQ(e.request_rate(), 0.0);  // no time span yet
+  EXPECT_EQ(e.popularity(6.0, 100.0), 0.0);
+}
+
+TEST(Popularity, RateFromSpreadRequests) {
+  PopularityEstimator e;
+  e.record_request(0.0);
+  e.record_request(10.0);
+  e.record_request(20.0);
+  // lambda = k / (t_k - t_1) = 3 / 20
+  EXPECT_NEAR(e.request_rate(), 0.15, 1e-12);
+}
+
+TEST(Popularity, MatchesEqSix) {
+  PopularityEstimator e;
+  e.record_request(0.0);
+  e.record_request(100.0);
+  const double rate = 2.0 / 100.0;
+  const Time now = 150.0, expires = 250.0;
+  EXPECT_NEAR(e.popularity(now, expires), 1.0 - std::exp(-rate * 100.0), 1e-12);
+}
+
+TEST(Popularity, ZeroAtOrAfterExpiry) {
+  PopularityEstimator e;
+  e.record_request(0.0);
+  e.record_request(1.0);
+  EXPECT_EQ(e.popularity(10.0, 10.0), 0.0);
+  EXPECT_EQ(e.popularity(11.0, 10.0), 0.0);
+}
+
+TEST(Popularity, GrowsWithRemainingLifetime) {
+  PopularityEstimator e;
+  e.record_request(0.0);
+  e.record_request(2.0);
+  const double near_expiry = e.popularity(10.0, 11.0);
+  const double far_expiry = e.popularity(10.0, 100.0);
+  EXPECT_GT(far_expiry, near_expiry);
+}
+
+TEST(Popularity, MoreFrequentRequestsMorePopular) {
+  PopularityEstimator frequent, rare;
+  for (int i = 0; i < 10; ++i) frequent.record_request(i * 1.0);
+  rare.record_request(0.0);
+  rare.record_request(9.0);
+  EXPECT_GT(frequent.popularity(10.0, 20.0), rare.popularity(10.0, 20.0));
+}
+
+TEST(Popularity, OutOfOrderRequestsHandled) {
+  PopularityEstimator e;
+  e.record_request(10.0);
+  e.record_request(2.0);
+  e.record_request(6.0);
+  EXPECT_DOUBLE_EQ(e.first_request(), 2.0);
+  EXPECT_DOUBLE_EQ(e.last_request(), 10.0);
+  EXPECT_NEAR(e.request_rate(), 3.0 / 8.0, 1e-12);
+}
+
+TEST(Popularity, MergeTakesUnionOfObservations) {
+  PopularityEstimator a, b;
+  a.record_request(0.0);
+  a.record_request(10.0);
+  b.record_request(5.0);
+  b.record_request(20.0);
+  b.record_request(25.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.first_request(), 0.0);
+  EXPECT_DOUBLE_EQ(a.last_request(), 25.0);
+  EXPECT_EQ(a.request_count(), 3u);  // max, not sum (overlapping histories)
+}
+
+TEST(Popularity, MergeWithEmptyIsIdentity) {
+  PopularityEstimator a, b;
+  a.record_request(1.0);
+  a.record_request(2.0);
+  const double before = a.request_rate();
+  a.merge(b);
+  EXPECT_EQ(a.request_rate(), before);
+  b.merge(a);
+  EXPECT_EQ(b.request_rate(), before);
+}
+
+TEST(Popularity, PopularityIsProbability) {
+  PopularityEstimator e;
+  for (int i = 0; i < 100; ++i) e.record_request(i * 0.01);
+  const double p = e.popularity(1.0, 1000.0);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+  EXPECT_GT(p, 0.99);  // extremely hot item
+}
+
+}  // namespace
+}  // namespace dtn

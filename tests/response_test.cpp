@@ -1,0 +1,95 @@
+#include "cache/response.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dtn {
+namespace {
+
+TEST(SigmoidResponse, AnchorsAtPminAndPmax) {
+  SigmoidResponse s;  // defaults: p_min = 0.45, p_max = 0.8
+  const Time t_q = hours(10);
+  EXPECT_NEAR(s.probability(0.0, t_q), 0.45, 1e-9);
+  EXPECT_NEAR(s.probability(t_q, t_q), 0.8, 1e-9);
+}
+
+TEST(SigmoidResponse, MonotoneIncreasingInRemainingTime) {
+  SigmoidResponse s;
+  const Time t_q = hours(10);
+  double prev = 0.0;
+  for (double f = 0.0; f <= 1.0; f += 0.05) {
+    const double p = s.probability(f * t_q, t_q);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(SigmoidResponse, BoundedByPminAndPmax) {
+  SigmoidResponse s;
+  const Time t_q = hours(5);
+  for (double f = 0.0; f <= 1.0; f += 0.01) {
+    const double p = s.probability(f * t_q, t_q);
+    EXPECT_GE(p, 0.45 - 1e-9);
+    EXPECT_LE(p, 0.8 + 1e-9);
+  }
+}
+
+TEST(SigmoidResponse, ClampsOutOfRangeTimes) {
+  SigmoidResponse s;
+  const Time t_q = hours(10);
+  EXPECT_NEAR(s.probability(-5.0, t_q), s.probability(0.0, t_q), 1e-12);
+  EXPECT_NEAR(s.probability(2 * t_q, t_q), s.probability(t_q, t_q), 1e-12);
+}
+
+TEST(SigmoidResponse, PaperExampleFigure7) {
+  // Fig. 7 uses p_min = 0.45, p_max = 0.8, T_q = 10 h. At the midpoint the
+  // sigmoid must be strictly between its anchors.
+  SigmoidResponse s{0.45, 0.8};
+  const double mid = s.probability(hours(5), hours(10));
+  EXPECT_GT(mid, 0.45);
+  EXPECT_LT(mid, 0.8);
+}
+
+TEST(SigmoidResponse, CustomParameters) {
+  SigmoidResponse s{0.6, 1.0};
+  const Time t_q = 100.0;
+  EXPECT_NEAR(s.probability(0.0, t_q), 0.6, 1e-9);
+  EXPECT_NEAR(s.probability(t_q, t_q), 1.0, 1e-9);
+}
+
+TEST(SigmoidResponse, InvalidParametersThrow) {
+  // p_min <= p_max / 2 makes k2 undefined (Eq. 4 validity region).
+  SigmoidResponse bad1{0.4, 0.8};
+  EXPECT_THROW(bad1.probability(1.0, 10.0), std::invalid_argument);
+  // p_min >= p_max.
+  SigmoidResponse bad2{0.9, 0.8};
+  EXPECT_THROW(bad2.probability(1.0, 10.0), std::invalid_argument);
+  // p_max out of range.
+  SigmoidResponse bad3{0.6, 1.1};
+  EXPECT_THROW(bad3.probability(1.0, 10.0), std::invalid_argument);
+  // T_q must be positive.
+  SigmoidResponse good;
+  EXPECT_THROW(good.probability(1.0, 0.0), std::invalid_argument);
+}
+
+// Parameter sweep: anchors hold across the validity region.
+class SigmoidSweep
+    : public testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(SigmoidSweep, AnchorsHold) {
+  const auto [p_min, p_max] = GetParam();
+  SigmoidResponse s{p_min, p_max};
+  const Time t_q = 3600.0;
+  EXPECT_NEAR(s.probability(0.0, t_q), p_min, 1e-9);
+  EXPECT_NEAR(s.probability(t_q, t_q), p_max, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ValidRegion, SigmoidSweep,
+    testing::Values(std::make_pair(0.45, 0.8), std::make_pair(0.55, 0.9),
+                    std::make_pair(0.51, 1.0), std::make_pair(0.35, 0.6),
+                    std::make_pair(0.2, 0.3)));
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include "graph/all_pairs.h"
+#include "routing/engine.h"
+#include "routing/protocols.h"
+#include "trace/synthetic.h"
+
+namespace dtn {
+namespace {
+
+/// Manual scaffold: line graph 0 - 1 - 2 - 3 for path-weight context.
+class RoutingTest : public testing::Test {
+ protected:
+  RoutingTest() : rng_(41) {
+    ContactGraph graph(4);
+    graph.set_rate(0, 1, 1.0 / 600.0);
+    graph.set_rate(1, 2, 1.0 / 600.0);
+    graph.set_rate(2, 3, 1.0 / 600.0);
+    paths_ = AllPairsPaths(graph, hours(1));
+    ctx_.paths = &paths_;
+    ctx_.rng = &rng_;
+    ctx_.now = 0.0;
+  }
+
+  BundleMessage make_message(NodeId src, NodeId dst, Bytes size = 100) {
+    BundleMessage m;
+    m.id = next_id_++;
+    m.source = src;
+    m.destination = dst;
+    m.created = ctx_.now;
+    m.expires = ctx_.now + 1e9;
+    m.size = size;
+    return m;
+  }
+
+  void contact(Router& router, NodeId a, NodeId b, Bytes budget = 1 << 30) {
+    LinkBudget link(budget);
+    router.on_contact(ctx_, a, b, link);
+  }
+
+  Rng rng_;
+  AllPairsPaths paths_;
+  RoutingContext ctx_;
+  MessageId next_id_ = 0;
+};
+
+TEST_F(RoutingTest, SubmitValidation) {
+  EpidemicRouter router(4);
+  EXPECT_THROW(router.submit(ctx_, make_message(-1, 2)), std::invalid_argument);
+  EXPECT_THROW(router.submit(ctx_, make_message(0, 9)), std::invalid_argument);
+  EXPECT_THROW(EpidemicRouter{1}, std::invalid_argument);
+}
+
+TEST_F(RoutingTest, SelfAddressedDeliversImmediately) {
+  EpidemicRouter router(4);
+  BundleMessage m = make_message(2, 2);
+  m.destination = 2;
+  router.submit(ctx_, m);
+  EXPECT_TRUE(router.delivered(m.id));
+  EXPECT_EQ(router.copies_in_flight(), 0u);
+}
+
+TEST_F(RoutingTest, DirectDeliveryWaitsForDestination) {
+  DirectDeliveryRouter router(4);
+  const BundleMessage m = make_message(0, 3);
+  router.submit(ctx_, m);
+  contact(router, 0, 1);
+  contact(router, 1, 2);
+  EXPECT_FALSE(router.delivered(m.id));
+  EXPECT_EQ(router.copies_in_flight(), 1u);  // still only at the source
+  contact(router, 0, 3);
+  EXPECT_TRUE(router.delivered(m.id));
+  EXPECT_EQ(router.transmissions(), 1u);
+}
+
+TEST_F(RoutingTest, EpidemicFloodsAllEncounters) {
+  EpidemicRouter router(4);
+  const BundleMessage m = make_message(0, 3);
+  router.submit(ctx_, m);
+  contact(router, 0, 1);
+  contact(router, 1, 2);
+  EXPECT_EQ(router.copies_in_flight(), 3u);  // nodes 0, 1, 2
+  contact(router, 2, 3);
+  EXPECT_TRUE(router.delivered(m.id));
+}
+
+TEST_F(RoutingTest, EpidemicDropsCopiesOnceDelivered) {
+  EpidemicRouter router(4);
+  const BundleMessage m = make_message(0, 3);
+  router.submit(ctx_, m);
+  contact(router, 0, 1);
+  contact(router, 0, 3);  // delivered
+  ASSERT_TRUE(router.delivered(m.id));
+  // Remaining copies evaporate lazily on the next contact touch.
+  contact(router, 1, 2);
+  contact(router, 0, 2);
+  EXPECT_EQ(router.copies_in_flight(), 0u);
+}
+
+TEST_F(RoutingTest, SprayAndWaitRespectsBudget) {
+  SprayAndWaitRouter router(4, /*copies=*/2);
+  const BundleMessage m = make_message(0, 3);
+  router.submit(ctx_, m);
+  contact(router, 0, 1);  // splits: 0 and 1 hold one token each
+  EXPECT_EQ(router.copies_in_flight(), 2u);
+  contact(router, 0, 2);  // both at 1 token: wait phase, no replication
+  contact(router, 1, 2);
+  EXPECT_EQ(router.copies_in_flight(), 2u);
+  contact(router, 1, 3);  // direct delivery from the wait phase
+  EXPECT_TRUE(router.delivered(m.id));
+}
+
+TEST_F(RoutingTest, SprayAndWaitNameIncludesBudget) {
+  SprayAndWaitRouter router(4, 16);
+  EXPECT_EQ(router.name(), "SprayAndWait(L=16)");
+  EXPECT_THROW(SprayAndWaitRouter(4, 0), std::invalid_argument);
+}
+
+TEST_F(RoutingTest, GradientHandsOverTowardsDestination) {
+  GradientRouter router(4);
+  const BundleMessage m = make_message(0, 3);
+  router.submit(ctx_, m);
+  contact(router, 0, 1);
+  EXPECT_EQ(router.copies_in_flight(), 1u);  // single copy moved to 1
+  contact(router, 1, 0);                     // backwards: must not move
+  contact(router, 1, 2);
+  contact(router, 2, 3);
+  EXPECT_TRUE(router.delivered(m.id));
+  EXPECT_EQ(router.transmissions(), 3u);  // 0->1, 1->2, 2->3 (delivery)
+}
+
+TEST_F(RoutingTest, GradientKeepsWhenNoPaths) {
+  GradientRouter router(4);
+  RoutingContext blind;
+  Rng rng(1);
+  blind.rng = &rng;  // no paths
+  const BundleMessage m = make_message(0, 3);
+  router.submit(blind, m);
+  LinkBudget budget(1 << 30);
+  router.on_contact(blind, 0, 1, budget);
+  EXPECT_EQ(router.copies_in_flight(), 1u);  // stayed at the source
+  EXPECT_FALSE(router.delivered(m.id));
+}
+
+TEST_F(RoutingTest, ProphetDirectReinforcement) {
+  ProphetRouter router(4);
+  EXPECT_EQ(router.predictability(0, 1), 0.0);
+  contact(router, 0, 1);
+  EXPECT_NEAR(router.predictability(0, 1), 0.75, 1e-12);
+  EXPECT_NEAR(router.predictability(1, 0), 0.75, 1e-12);
+  contact(router, 0, 1);
+  EXPECT_NEAR(router.predictability(0, 1), 0.75 + 0.25 * 0.75, 1e-12);
+}
+
+TEST_F(RoutingTest, ProphetTransitivity) {
+  ProphetRouter router(4);
+  contact(router, 1, 2);  // P(1,2) = .75
+  contact(router, 0, 1);  // P(0,1) = .75; transitivity: P(0,2) > 0
+  EXPECT_GT(router.predictability(0, 2), 0.0);
+  EXPECT_LT(router.predictability(0, 2), router.predictability(0, 1));
+}
+
+TEST_F(RoutingTest, ProphetAging) {
+  ProphetRouter router(4);
+  contact(router, 0, 1);
+  const double fresh = router.predictability(0, 1);
+  ctx_.now += 100 * 3600.0;  // 100 aging units
+  contact(router, 0, 2);     // triggers aging of node 0's table
+  EXPECT_LT(router.predictability(0, 1), fresh * 0.2);
+}
+
+TEST_F(RoutingTest, ProphetForwardsToBetterCustodian) {
+  ProphetRouter router(4);
+  // Teach node 1 that it meets node 3.
+  contact(router, 1, 3);
+  const BundleMessage m = make_message(0, 3);
+  router.submit(ctx_, m);
+  contact(router, 0, 1);  // P(1,3) > P(0,3): hand over
+  EXPECT_EQ(router.copies_in_flight(), 1u);
+  contact(router, 1, 3);
+  EXPECT_TRUE(router.delivered(m.id));
+}
+
+TEST_F(RoutingTest, ProphetParameterValidation) {
+  ProphetRouter::Params bad;
+  bad.gamma = 1.5;
+  EXPECT_THROW(ProphetRouter(4, bad), std::invalid_argument);
+  bad = {};
+  bad.p_init = 0.0;
+  EXPECT_THROW(ProphetRouter(4, bad), std::invalid_argument);
+}
+
+TEST_F(RoutingTest, ExpiredMessagesDropLazily) {
+  EpidemicRouter router(4);
+  BundleMessage m = make_message(0, 3);
+  m.expires = ctx_.now + 10.0;
+  router.submit(ctx_, m);
+  ctx_.now += 100.0;
+  contact(router, 0, 1);
+  EXPECT_EQ(router.copies_in_flight(), 0u);
+  EXPECT_FALSE(router.delivered(m.id));
+}
+
+TEST_F(RoutingTest, BudgetExhaustionBlocksTransfer) {
+  EpidemicRouter router(4);
+  const BundleMessage m = make_message(0, 3, /*size=*/1000);
+  router.submit(ctx_, m);
+  contact(router, 0, 1, /*budget=*/10);
+  EXPECT_EQ(router.copies_in_flight(), 1u);  // no room: nothing replicated
+  contact(router, 0, 1);
+  EXPECT_EQ(router.copies_in_flight(), 2u);
+}
+
+// ---- end-to-end comparison on a synthetic trace ----
+
+class RoutingComparison : public testing::Test {
+ protected:
+  static ContactTrace make_trace() {
+    SyntheticTraceConfig c;
+    c.node_count = 25;
+    c.duration = days(10);
+    c.target_total_contacts = 6000;
+    c.popularity_shape = 1.7;
+    c.seed = 77;
+    return generate_trace(c);
+  }
+};
+
+TEST_F(RoutingComparison, EpidemicDominatesDeliveryAndCost) {
+  const ContactTrace trace = make_trace();
+  RoutingExperimentConfig config;
+  config.message_count = 120;
+  config.ttl = days(2);
+
+  EpidemicRouter epidemic(trace.node_count());
+  DirectDeliveryRouter direct(trace.node_count());
+  SprayAndWaitRouter spray(trace.node_count(), 8);
+
+  const RoutingResult r_epidemic = run_routing(trace, epidemic, config);
+  const RoutingResult r_direct = run_routing(trace, direct, config);
+  const RoutingResult r_spray = run_routing(trace, spray, config);
+
+  // Epidemic is the delivery/delay optimum and the cost maximum.
+  EXPECT_GE(r_epidemic.delivery_ratio, r_spray.delivery_ratio);
+  EXPECT_GE(r_spray.delivery_ratio, r_direct.delivery_ratio);
+  EXPECT_GT(r_epidemic.transmissions_per_message,
+            r_spray.transmissions_per_message);
+  EXPECT_GT(r_spray.transmissions_per_message,
+            r_direct.transmissions_per_message);
+  EXPECT_GT(r_epidemic.delivery_ratio, 0.5);
+}
+
+TEST_F(RoutingComparison, SingleCopySchemesBeatDirectDelivery) {
+  const ContactTrace trace = make_trace();
+  RoutingExperimentConfig config;
+  config.message_count = 120;
+  config.ttl = days(2);
+
+  DirectDeliveryRouter direct(trace.node_count());
+  GradientRouter gradient(trace.node_count());
+  ProphetRouter prophet(trace.node_count());
+
+  const RoutingResult r_direct = run_routing(trace, direct, config);
+  const RoutingResult r_gradient = run_routing(trace, gradient, config);
+  const RoutingResult r_prophet = run_routing(trace, prophet, config);
+
+  EXPECT_GT(r_gradient.delivery_ratio, r_direct.delivery_ratio);
+  EXPECT_GT(r_prophet.delivery_ratio, r_direct.delivery_ratio);
+}
+
+TEST_F(RoutingComparison, DeterministicAcrossRuns) {
+  const ContactTrace trace = make_trace();
+  RoutingExperimentConfig config;
+  config.message_count = 50;
+  EpidemicRouter a(trace.node_count());
+  EpidemicRouter b(trace.node_count());
+  const RoutingResult ra = run_routing(trace, a, config);
+  const RoutingResult rb = run_routing(trace, b, config);
+  EXPECT_DOUBLE_EQ(ra.delivery_ratio, rb.delivery_ratio);
+  EXPECT_DOUBLE_EQ(ra.mean_delay_hours, rb.mean_delay_hours);
+}
+
+TEST_F(RoutingComparison, WorkloadValidation) {
+  const ContactTrace trace = make_trace();
+  RoutingExperimentConfig config;
+  config.message_count = 0;
+  EXPECT_THROW(generate_messages(config, trace), std::invalid_argument);
+  config = {};
+  config.message_size = 0;
+  EXPECT_THROW(generate_messages(config, trace), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dtn

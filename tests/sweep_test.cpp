@@ -1,0 +1,91 @@
+#include "experiment/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.h"
+
+namespace dtn {
+namespace {
+
+ContactTrace sweep_trace() {
+  SyntheticTraceConfig c;
+  c.node_count = 16;
+  c.duration = days(8);
+  c.target_total_contacts = 3000;
+  c.seed = 3;
+  return generate_trace(c);
+}
+
+SweepConfig base_sweep() {
+  SweepConfig s;
+  s.base.avg_lifetime = days(1);
+  s.base.avg_data_size = megabits(40);
+  s.base.ncl_count = 2;
+  s.base.repetitions = 1;
+  s.base.sim.maintenance_interval = hours(12);
+  return s;
+}
+
+TEST(Sweep, CrossProductSize) {
+  SweepConfig s = base_sweep();
+  s.schemes = {SchemeKind::kNclCache, SchemeKind::kNoCache};
+  s.lifetimes = {hours(12), days(1)};
+  s.ncl_counts = {1, 2, 3};
+  const auto rows = run_sweep(sweep_trace(), s);
+  EXPECT_EQ(rows.size(), 2u * 2u * 1u * 3u);
+}
+
+TEST(Sweep, EmptyAxesFallBackToBase) {
+  SweepConfig s = base_sweep();
+  const auto rows = run_sweep(sweep_trace(), s);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].scheme, "NCL-Cache");
+  EXPECT_DOUBLE_EQ(rows[0].avg_lifetime, days(1));
+  EXPECT_EQ(rows[0].ncl_count, 2);
+}
+
+TEST(Sweep, ProgressCallbackCoversAllCells) {
+  SweepConfig s = base_sweep();
+  s.schemes = {SchemeKind::kNoCache};
+  s.lifetimes = {hours(12), days(1)};
+  std::vector<std::pair<std::size_t, std::size_t>> calls;
+  run_sweep(sweep_trace(), s, [&](std::size_t done, std::size_t total) {
+    calls.emplace_back(done, total);
+  });
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls.front(), (std::pair<std::size_t, std::size_t>{1, 2}));
+  EXPECT_EQ(calls.back(), (std::pair<std::size_t, std::size_t>{2, 2}));
+}
+
+TEST(Sweep, RowsCarryMeaningfulMetrics) {
+  SweepConfig s = base_sweep();
+  s.schemes = {SchemeKind::kNclCache};
+  const auto rows = run_sweep(sweep_trace(), s);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_GT(rows[0].queries, 0.0);
+  EXPECT_GE(rows[0].success_ratio, 0.0);
+  EXPECT_LE(rows[0].success_ratio, 1.0);
+}
+
+TEST(Sweep, CsvShape) {
+  SweepConfig s = base_sweep();
+  s.schemes = {SchemeKind::kNclCache, SchemeKind::kNoCache};
+  const auto rows = run_sweep(sweep_trace(), s);
+  const std::string csv = sweep_to_csv(rows);
+  // Header + one line per row.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
+            static_cast<long>(rows.size()) + 1);
+  EXPECT_NE(csv.find("scheme,lifetime_hours"), std::string::npos);
+  EXPECT_NE(csv.find("NCL-Cache,24,"), std::string::npos);
+}
+
+TEST(Sweep, Deterministic) {
+  SweepConfig s = base_sweep();
+  const auto a = run_sweep(sweep_trace(), s);
+  const auto b = run_sweep(sweep_trace(), s);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(a[0].success_ratio, b[0].success_ratio);
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,68 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dtn {
+namespace {
+
+TEST(TextTable, HeadersAppearInOutput) {
+  TextTable t({"scheme", "ratio"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("scheme"), std::string::npos);
+  EXPECT_NE(out.find("ratio"), std::string::npos);
+}
+
+TEST(TextTable, RowCellsAppearAligned) {
+  TextTable t({"a", "b"});
+  t.begin_row();
+  t.add_cell("hello");
+  t.add_number(1.5, 2);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("hello"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+}
+
+TEST(TextTable, AddRowAtOnce) {
+  TextTable t({"x", "y", "z"});
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.column_count(), 3u);
+}
+
+TEST(TextTable, IntegerFormatting) {
+  TextTable t({"n"});
+  t.begin_row();
+  t.add_integer(1234567);
+  EXPECT_NE(t.to_string().find("1234567"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "x"});
+  t.add_row({"2", "y"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,x\n2,y\n");
+}
+
+TEST(TextTable, MultipleRowsRendered) {
+  TextTable t({"col"});
+  for (int i = 0; i < 5; ++i) t.add_row({std::to_string(i)});
+  EXPECT_EQ(t.row_count(), 5u);
+  const std::string out = t.to_string();
+  // header + separator + 5 rows = 7 lines
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 7);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(FormatDuration, AdaptiveUnits) {
+  EXPECT_EQ(format_duration(30.0), "30.0s");
+  EXPECT_EQ(format_duration(120.0), "2.0m");
+  EXPECT_EQ(format_duration(7200.0), "2.0h");
+  EXPECT_EQ(format_duration(172800.0), "2.0d");
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,97 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "trace/synthetic.h"
+
+namespace dtn {
+namespace {
+
+TEST(TraceIo, RoundTripThroughStream) {
+  SyntheticTraceConfig c;
+  c.node_count = 10;
+  c.duration = days(1);
+  c.target_total_contacts = 500;
+  c.seed = 5;
+  const ContactTrace original = generate_trace(c);
+
+  std::stringstream buffer;
+  write_trace_csv(original, buffer);
+  const ContactTrace loaded = read_trace_csv(buffer, "roundtrip");
+
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.node_count(), original.node_count());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.events()[i], original.events()[i]);
+  }
+}
+
+TEST(TraceIo, HeaderIsOptional) {
+  std::stringstream with_header("start,duration,a,b\n1.5,10,0,1\n");
+  std::stringstream without_header("1.5,10,0,1\n");
+  const ContactTrace a = read_trace_csv(with_header);
+  const ContactTrace b = read_trace_csv(without_header);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a.events()[0], b.events()[0]);
+}
+
+TEST(TraceIo, NodeCountFromMaxId) {
+  std::stringstream in("0,5,2,7\n");
+  const ContactTrace t = read_trace_csv(in);
+  EXPECT_EQ(t.node_count(), 8);
+}
+
+TEST(TraceIo, MinNodeCountHonored) {
+  std::stringstream in("0,5,0,1\n");
+  const ContactTrace t = read_trace_csv(in, "t", 50);
+  EXPECT_EQ(t.node_count(), 50);
+}
+
+TEST(TraceIo, MalformedLineThrows) {
+  std::stringstream in("start,duration,a,b\n1.5,10,0\n");
+  EXPECT_THROW(read_trace_csv(in), std::runtime_error);
+}
+
+TEST(TraceIo, WrongSeparatorThrows) {
+  std::stringstream in("1.5;10;0;1\n");
+  EXPECT_THROW(read_trace_csv(in), std::runtime_error);
+}
+
+TEST(TraceIo, EmptyStreamThrows) {
+  std::stringstream in("");
+  EXPECT_THROW(read_trace_csv(in), std::runtime_error);
+}
+
+TEST(TraceIo, BlankLinesIgnored) {
+  std::stringstream in("start,duration,a,b\n1,2,0,1\n\n3,4,1,2\n");
+  const ContactTrace t = read_trace_csv(in);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(TraceIo, FileRoundTripAndNaming) {
+  SyntheticTraceConfig c;
+  c.node_count = 5;
+  c.duration = hours(6);
+  c.target_total_contacts = 100;
+  const ContactTrace original = generate_trace(c);
+
+  const std::string path = testing::TempDir() + "/dtn_trace_io_test.csv";
+  save_trace_csv(original, path);
+  const ContactTrace loaded = load_trace_csv(path);
+  EXPECT_EQ(loaded.name(), "dtn_trace_io_test");
+  EXPECT_EQ(loaded.size(), original.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_trace_csv("/nonexistent/path/to/trace.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dtn

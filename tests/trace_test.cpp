@@ -1,0 +1,112 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dtn {
+namespace {
+
+ContactEvent make(Time start, NodeId a, NodeId b, Time dur = 10.0) {
+  ContactEvent e;
+  e.start = start;
+  e.duration = dur;
+  e.a = a;
+  e.b = b;
+  return e;
+}
+
+TEST(ContactEvent, EndTime) {
+  const ContactEvent e = make(100.0, 0, 1, 25.0);
+  EXPECT_DOUBLE_EQ(e.end(), 125.0);
+}
+
+TEST(ContactEventOrder, SortsByStartThenIds) {
+  ContactEventOrder less;
+  EXPECT_TRUE(less(make(1.0, 0, 1), make(2.0, 0, 1)));
+  EXPECT_TRUE(less(make(1.0, 0, 1), make(1.0, 0, 2)));
+  EXPECT_TRUE(less(make(1.0, 0, 2), make(1.0, 1, 2)));
+  EXPECT_FALSE(less(make(1.0, 0, 1), make(1.0, 0, 1)));
+}
+
+TEST(ContactTrace, SortsEventsOnConstruction) {
+  ContactTrace trace(3, {make(5.0, 0, 1), make(1.0, 1, 2), make(3.0, 0, 2)});
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.events()[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(trace.events()[1].start, 3.0);
+  EXPECT_DOUBLE_EQ(trace.events()[2].start, 5.0);
+}
+
+TEST(ContactTrace, CanonicalizesPairOrder) {
+  ContactTrace trace(3, {make(1.0, 2, 0)});
+  EXPECT_EQ(trace.events()[0].a, 0);
+  EXPECT_EQ(trace.events()[0].b, 2);
+}
+
+TEST(ContactTrace, RejectsSelfContact) {
+  EXPECT_THROW(ContactTrace(3, {make(1.0, 1, 1)}), std::invalid_argument);
+}
+
+TEST(ContactTrace, RejectsOutOfRangeNode) {
+  EXPECT_THROW(ContactTrace(2, {make(1.0, 0, 2)}), std::invalid_argument);
+  EXPECT_THROW(ContactTrace(2, {make(1.0, -1, 1)}), std::invalid_argument);
+}
+
+TEST(ContactTrace, RejectsNegativeDuration) {
+  EXPECT_THROW(ContactTrace(2, {make(1.0, 0, 1, -5.0)}), std::invalid_argument);
+}
+
+TEST(ContactTrace, EmptyTraceTimes) {
+  ContactTrace trace(4, {});
+  EXPECT_TRUE(trace.empty());
+  EXPECT_DOUBLE_EQ(trace.start_time(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.end_time(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.duration(), 0.0);
+}
+
+TEST(ContactTrace, EndTimeCoversLongRunningContact) {
+  // The last-starting contact is not the last-ending one.
+  ContactTrace trace(3, {make(0.0, 0, 1, 1000.0), make(10.0, 1, 2, 5.0)});
+  EXPECT_DOUBLE_EQ(trace.end_time(), 1000.0);
+}
+
+TEST(ContactTrace, SliceFiltersByStartTime) {
+  ContactTrace trace(3, {make(1.0, 0, 1), make(5.0, 1, 2), make(9.0, 0, 2)});
+  const ContactTrace mid = trace.slice(2.0, 9.0);
+  ASSERT_EQ(mid.size(), 1u);
+  EXPECT_DOUBLE_EQ(mid.events()[0].start, 5.0);
+  EXPECT_EQ(mid.node_count(), 3);
+  EXPECT_EQ(mid.name(), trace.name());
+}
+
+TEST(ContactTrace, SliceBoundariesAreHalfOpen) {
+  ContactTrace trace(3, {make(2.0, 0, 1), make(4.0, 1, 2)});
+  const ContactTrace s = trace.slice(2.0, 4.0);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.events()[0].start, 2.0);
+}
+
+TEST(Summarize, CountsAndDuration) {
+  ContactTrace trace(3,
+                     {make(0.0, 0, 1), make(86400.0, 0, 1), make(43200.0, 1, 2)},
+                     "t");
+  const TraceSummary s = summarize(trace);
+  EXPECT_EQ(s.name, "t");
+  EXPECT_EQ(s.devices, 3);
+  EXPECT_EQ(s.internal_contacts, 3u);
+  EXPECT_NEAR(s.duration_days, 1.0, 1e-2);
+  // 2 of 3 possible pairs met.
+  EXPECT_NEAR(s.pair_coverage, 2.0 / 3.0, 1e-12);
+  // 3 contacts / 2 met pairs / ~1 day
+  EXPECT_NEAR(s.pairwise_contact_frequency_per_day, 1.5, 0.01);
+}
+
+TEST(Summarize, EmptyTraceIsSafe) {
+  const TraceSummary s = summarize(ContactTrace(5, {}));
+  EXPECT_EQ(s.internal_contacts, 0u);
+  EXPECT_EQ(s.pairwise_contact_frequency_per_day, 0.0);
+  EXPECT_EQ(s.pair_coverage, 0.0);
+}
+
+}  // namespace
+}  // namespace dtn

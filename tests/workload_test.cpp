@@ -1,0 +1,201 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dtn {
+namespace {
+
+WorkloadConfig base_config() {
+  WorkloadConfig c;
+  c.start = 0.0;
+  c.end = days(30);
+  c.avg_lifetime = days(2);
+  c.generation_prob = 0.2;
+  c.avg_size = megabits(100);
+  c.zipf_exponent = 1.0;
+  c.seed = 7;
+  return c;
+}
+
+TEST(Workload, DeterministicForSameSeed) {
+  const Workload a = generate_workload(base_config(), 20);
+  const Workload b = generate_workload(base_config(), 20);
+  EXPECT_EQ(a.data_count(), b.data_count());
+  EXPECT_EQ(a.query_count(), b.query_count());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].time, b.events()[i].time);
+    EXPECT_EQ(static_cast<int>(a.events()[i].kind),
+              static_cast<int>(b.events()[i].kind));
+  }
+}
+
+TEST(Workload, EventsSortedByTime) {
+  const Workload w = generate_workload(base_config(), 20);
+  for (std::size_t i = 1; i < w.events().size(); ++i) {
+    EXPECT_LE(w.events()[i - 1].time, w.events()[i].time);
+  }
+}
+
+TEST(Workload, DataWithinConfiguredWindow) {
+  const WorkloadConfig c = base_config();
+  const Workload w = generate_workload(c, 20);
+  ASSERT_GT(w.data_count(), 0u);
+  for (std::size_t i = 0; i < w.data_count(); ++i) {
+    const DataItem& item = w.registry().get(static_cast<DataId>(i));
+    EXPECT_GE(item.created, c.start);
+    EXPECT_LT(item.created, c.end);
+    // Lifetime uniform in [0.5 T_L, 1.5 T_L].
+    const Time lifetime = item.lifetime();
+    EXPECT_GE(lifetime, 0.5 * c.avg_lifetime - 1e-6);
+    EXPECT_LE(lifetime, 1.5 * c.avg_lifetime + 1e-6);
+    // Size uniform in [0.5 s, 1.5 s].
+    EXPECT_GE(item.size, c.avg_size / 2 - 1);
+    EXPECT_LE(item.size, c.avg_size * 3 / 2 + 1);
+  }
+}
+
+TEST(Workload, AtMostOneLiveItemPerSourceNode) {
+  const Workload w = generate_workload(base_config(), 10);
+  // At any generation instant, the source must not have another live item.
+  for (std::size_t i = 0; i < w.data_count(); ++i) {
+    const DataItem& item = w.registry().get(static_cast<DataId>(i));
+    for (std::size_t j = 0; j < i; ++j) {
+      const DataItem& other = w.registry().get(static_cast<DataId>(j));
+      if (other.source != item.source) continue;
+      // Items from the same source must not overlap in lifetime.
+      const bool disjoint =
+          other.expires <= item.created || item.expires <= other.created;
+      EXPECT_TRUE(disjoint) << "items " << j << " and " << i;
+    }
+  }
+}
+
+TEST(Workload, QueriesReferenceAliveData) {
+  const Workload w = generate_workload(base_config(), 20);
+  ASSERT_GT(w.query_count(), 0u);
+  for (const auto& e : w.events()) {
+    if (e.kind != WorkloadEvent::Kind::kQueryIssued) continue;
+    const DataItem& item = w.registry().get(e.query.data);
+    EXPECT_LE(item.created, e.query.issued);
+    EXPECT_TRUE(item.alive(e.query.issued));
+  }
+}
+
+TEST(Workload, QueriesNeverTargetOwnData) {
+  const Workload w = generate_workload(base_config(), 20);
+  for (const auto& e : w.events()) {
+    if (e.kind != WorkloadEvent::Kind::kQueryIssued) continue;
+    EXPECT_NE(w.registry().get(e.query.data).source, e.query.requester);
+  }
+}
+
+TEST(Workload, QueryConstraintIsHalfLifetime) {
+  const WorkloadConfig c = base_config();
+  const Workload w = generate_workload(c, 20);
+  for (const auto& e : w.events()) {
+    if (e.kind != WorkloadEvent::Kind::kQueryIssued) continue;
+    EXPECT_NEAR(e.query.time_constraint(), 0.5 * c.avg_lifetime, 1e-6);
+  }
+}
+
+TEST(Workload, QueryIdsUniqueAndDense) {
+  const Workload w = generate_workload(base_config(), 20);
+  std::vector<bool> seen(w.query_count(), false);
+  for (const auto& e : w.events()) {
+    if (e.kind != WorkloadEvent::Kind::kQueryIssued) continue;
+    ASSERT_GE(e.query.id, 0);
+    ASSERT_LT(static_cast<std::size_t>(e.query.id), w.query_count());
+    EXPECT_FALSE(seen[static_cast<std::size_t>(e.query.id)]);
+    seen[static_cast<std::size_t>(e.query.id)] = true;
+  }
+}
+
+TEST(Workload, MoreDataWithLongerWindow) {
+  WorkloadConfig c = base_config();
+  const Workload small = generate_workload(c, 20);
+  c.end = days(60);
+  const Workload large = generate_workload(c, 20);
+  EXPECT_GT(large.data_count(), small.data_count());
+}
+
+TEST(Workload, ZeroGenerationProbabilityProducesNothing) {
+  WorkloadConfig c = base_config();
+  c.generation_prob = 0.0;
+  const Workload w = generate_workload(c, 20);
+  EXPECT_EQ(w.data_count(), 0u);
+  EXPECT_EQ(w.query_count(), 0u);
+}
+
+TEST(Workload, QueryConstraintFactorScalesTq) {
+  WorkloadConfig c = base_config();
+  c.query_constraint_factor = 0.25;
+  const Workload w = generate_workload(c, 20);
+  for (const auto& e : w.events()) {
+    if (e.kind != WorkloadEvent::Kind::kQueryIssued) continue;
+    EXPECT_NEAR(e.query.time_constraint(), 0.25 * c.avg_lifetime, 1e-6);
+  }
+}
+
+TEST(Workload, HigherGenerationProbabilityProducesMoreData) {
+  WorkloadConfig c = base_config();
+  c.generation_prob = 0.1;
+  const Workload low = generate_workload(c, 30);
+  c.generation_prob = 0.9;
+  const Workload high = generate_workload(c, 30);
+  EXPECT_GT(high.data_count(), low.data_count());
+}
+
+TEST(Workload, InvalidConfigsThrow) {
+  WorkloadConfig c = base_config();
+  c.end = c.start;
+  EXPECT_THROW(generate_workload(c, 20), std::invalid_argument);
+  c = base_config();
+  c.avg_lifetime = 0.0;
+  EXPECT_THROW(generate_workload(c, 20), std::invalid_argument);
+  c = base_config();
+  c.generation_prob = 1.5;
+  EXPECT_THROW(generate_workload(c, 20), std::invalid_argument);
+  c = base_config();
+  c.avg_size = 0;
+  EXPECT_THROW(generate_workload(c, 20), std::invalid_argument);
+  EXPECT_THROW(generate_workload(base_config(), 1), std::invalid_argument);
+}
+
+// Fig. 9(a): T_L controls the amount of data in the network. With the
+// paper's generation rule (decision period = T_L), a longer lifetime means
+// fewer, longer-lived items: the total number generated over a fixed window
+// shrinks, while the instantaneous alive population stays at roughly
+// p_G-determined occupancy.
+TEST(Workload, TotalGeneratedShrinksWithLifetime) {
+  WorkloadConfig c = base_config();
+  c.avg_lifetime = hours(12);
+  const Workload short_lived = generate_workload(c, 40);
+  c.avg_lifetime = days(7);
+  const Workload long_lived = generate_workload(c, 40);
+  EXPECT_GT(short_lived.data_count(), long_lived.data_count());
+}
+
+// Zipf skew: lower-id (older, lower-rank) alive data gets more queries.
+TEST(Workload, QueryCountSkewedTowardsLowRanks) {
+  WorkloadConfig c = base_config();
+  c.avg_lifetime = days(10);
+  c.zipf_exponent = 1.5;
+  c.end = days(40);
+  const Workload w = generate_workload(c, 30);
+  std::size_t first_half = 0, second_half = 0;
+  for (const auto& e : w.events()) {
+    if (e.kind != WorkloadEvent::Kind::kQueryIssued) continue;
+    if (static_cast<std::size_t>(e.query.data) < w.data_count() / 2) {
+      ++first_half;
+    } else {
+      ++second_half;
+    }
+  }
+  EXPECT_GT(first_half, second_half);
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,97 @@
+#include "workload/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace dtn {
+namespace {
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  for (double s : {0.0, 0.5, 1.0, 2.0}) {
+    const ZipfDistribution z(50, s);
+    double total = 0.0;
+    for (std::size_t j = 1; j <= 50; ++j) total += z.probability(j);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "s=" << s;
+  }
+}
+
+TEST(Zipf, RankOneMostPopular) {
+  const ZipfDistribution z(10, 1.0);
+  for (std::size_t j = 2; j <= 10; ++j) {
+    EXPECT_GT(z.probability(1), z.probability(j));
+  }
+}
+
+TEST(Zipf, MonotoneDecreasingInRank) {
+  const ZipfDistribution z(20, 1.5);
+  for (std::size_t j = 1; j < 20; ++j) {
+    EXPECT_GE(z.probability(j), z.probability(j + 1));
+  }
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  const ZipfDistribution z(8, 0.0);
+  for (std::size_t j = 1; j <= 8; ++j) {
+    EXPECT_NEAR(z.probability(j), 1.0 / 8.0, 1e-12);
+  }
+}
+
+TEST(Zipf, KnownRatios) {
+  // With s = 1, P_1 / P_2 = 2.
+  const ZipfDistribution z(100, 1.0);
+  EXPECT_NEAR(z.probability(1) / z.probability(2), 2.0, 1e-9);
+  // With s = 2, P_1 / P_3 = 9.
+  const ZipfDistribution z2(100, 2.0);
+  EXPECT_NEAR(z2.probability(1) / z2.probability(3), 9.0, 1e-9);
+}
+
+TEST(Zipf, SingleItem) {
+  const ZipfDistribution z(1, 1.0);
+  EXPECT_DOUBLE_EQ(z.probability(1), 1.0);
+  Rng rng(1);
+  EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(Zipf, InvalidArguments) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(5, -0.1), std::invalid_argument);
+  const ZipfDistribution z(5, 1.0);
+  EXPECT_THROW(z.probability(0), std::out_of_range);
+  EXPECT_THROW(z.probability(6), std::out_of_range);
+}
+
+TEST(Zipf, SampleFrequenciesMatchProbabilities) {
+  const ZipfDistribution z(10, 1.0);
+  Rng rng(99);
+  std::vector<int> counts(10, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (std::size_t j = 0; j < 10; ++j) {
+    EXPECT_NEAR(static_cast<double>(counts[j]) / n, z.probability(j + 1), 0.005)
+        << "rank " << j + 1;
+  }
+}
+
+// Paper Fig. 9(b): higher exponents concentrate probability on low ranks.
+class ZipfExponentSweep : public testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentSweep, HeadMassGrowsWithExponent) {
+  const double s = GetParam();
+  const ZipfDistribution low(100, s);
+  const ZipfDistribution high(100, s + 0.5);
+  double head_low = 0.0, head_high = 0.0;
+  for (std::size_t j = 1; j <= 5; ++j) {
+    head_low += low.probability(j);
+    head_high += high.probability(j);
+  }
+  EXPECT_GT(head_high, head_low);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentSweep,
+                         testing::Values(0.0, 0.5, 1.0, 1.5, 2.0));
+
+}  // namespace
+}  // namespace dtn
