@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_failures.dir/bench_ablation_failures.cpp.o"
+  "CMakeFiles/bench_ablation_failures.dir/bench_ablation_failures.cpp.o.d"
+  "bench_ablation_failures"
+  "bench_ablation_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_horizon.dir/bench_ablation_horizon.cpp.o"
+  "CMakeFiles/bench_ablation_horizon.dir/bench_ablation_horizon.cpp.o.d"
+  "bench_ablation_horizon"
+  "bench_ablation_horizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

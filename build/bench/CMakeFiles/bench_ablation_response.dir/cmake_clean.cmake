@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_response.dir/bench_ablation_response.cpp.o"
+  "CMakeFiles/bench_ablation_response.dir/bench_ablation_response.cpp.o.d"
+  "bench_ablation_response"
+  "bench_ablation_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_lifetime.dir/bench_fig10_lifetime.cpp.o"
+  "CMakeFiles/bench_fig10_lifetime.dir/bench_fig10_lifetime.cpp.o.d"
+  "bench_fig10_lifetime"
+  "bench_fig10_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

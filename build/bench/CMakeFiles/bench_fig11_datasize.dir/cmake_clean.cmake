@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_datasize.dir/bench_fig11_datasize.cpp.o"
+  "CMakeFiles/bench_fig11_datasize.dir/bench_fig11_datasize.cpp.o.d"
+  "bench_fig11_datasize"
+  "bench_fig11_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_replacement.dir/bench_fig12_replacement.cpp.o"
+  "CMakeFiles/bench_fig12_replacement.dir/bench_fig12_replacement.cpp.o.d"
+  "bench_fig12_replacement"
+  "bench_fig12_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_ncl_count.dir/bench_fig13_ncl_count.cpp.o"
+  "CMakeFiles/bench_fig13_ncl_count.dir/bench_fig13_ncl_count.cpp.o.d"
+  "bench_fig13_ncl_count"
+  "bench_fig13_ncl_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_ncl_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

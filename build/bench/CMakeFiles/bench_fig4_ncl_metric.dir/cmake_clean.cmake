@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ncl_metric.dir/bench_fig4_ncl_metric.cpp.o"
+  "CMakeFiles/bench_fig4_ncl_metric.dir/bench_fig4_ncl_metric.cpp.o.d"
+  "bench_fig4_ncl_metric"
+  "bench_fig4_ncl_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ncl_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

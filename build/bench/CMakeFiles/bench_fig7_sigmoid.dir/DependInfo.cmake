@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_sigmoid.cpp" "bench/CMakeFiles/bench_fig7_sigmoid.dir/bench_fig7_sigmoid.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_sigmoid.dir/bench_fig7_sigmoid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiment/CMakeFiles/dtn_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dtn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dtn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dtn_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dtn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dtn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dtn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dtn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dtn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dtn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

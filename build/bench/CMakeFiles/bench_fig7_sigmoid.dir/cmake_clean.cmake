@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_sigmoid.dir/bench_fig7_sigmoid.cpp.o"
+  "CMakeFiles/bench_fig7_sigmoid.dir/bench_fig7_sigmoid.cpp.o.d"
+  "bench_fig7_sigmoid"
+  "bench_fig7_sigmoid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sigmoid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

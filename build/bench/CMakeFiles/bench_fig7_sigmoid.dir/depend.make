@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_sigmoid.
+# This may be replaced when dependencies are built.

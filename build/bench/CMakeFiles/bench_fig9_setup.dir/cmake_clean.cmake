@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_setup.dir/bench_fig9_setup.cpp.o"
+  "CMakeFiles/bench_fig9_setup.dir/bench_fig9_setup.cpp.o.d"
+  "bench_fig9_setup"
+  "bench_fig9_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

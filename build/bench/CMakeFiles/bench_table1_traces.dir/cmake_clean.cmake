@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_traces.dir/bench_table1_traces.cpp.o"
+  "CMakeFiles/bench_table1_traces.dir/bench_table1_traces.cpp.o.d"
+  "bench_table1_traces"
+  "bench_table1_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

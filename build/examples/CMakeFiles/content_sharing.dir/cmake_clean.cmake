@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/content_sharing.dir/content_sharing.cpp.o"
+  "CMakeFiles/content_sharing.dir/content_sharing.cpp.o.d"
+  "content_sharing"
+  "content_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/content_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vanet_traffic.dir/vanet_traffic.cpp.o"
+  "CMakeFiles/vanet_traffic.dir/vanet_traffic.cpp.o.d"
+  "vanet_traffic"
+  "vanet_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vanet_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

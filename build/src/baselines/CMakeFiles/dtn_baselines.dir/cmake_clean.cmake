@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtn_baselines.dir/bundle_cache.cpp.o"
+  "CMakeFiles/dtn_baselines.dir/bundle_cache.cpp.o.d"
+  "CMakeFiles/dtn_baselines.dir/cache_data.cpp.o"
+  "CMakeFiles/dtn_baselines.dir/cache_data.cpp.o.d"
+  "CMakeFiles/dtn_baselines.dir/flooding_base.cpp.o"
+  "CMakeFiles/dtn_baselines.dir/flooding_base.cpp.o.d"
+  "libdtn_baselines.a"
+  "libdtn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

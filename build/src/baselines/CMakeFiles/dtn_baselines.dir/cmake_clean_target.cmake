@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdtn_baselines.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtn_cache.dir/knapsack.cpp.o"
+  "CMakeFiles/dtn_cache.dir/knapsack.cpp.o.d"
+  "CMakeFiles/dtn_cache.dir/ncl_scheme.cpp.o"
+  "CMakeFiles/dtn_cache.dir/ncl_scheme.cpp.o.d"
+  "CMakeFiles/dtn_cache.dir/popularity.cpp.o"
+  "CMakeFiles/dtn_cache.dir/popularity.cpp.o.d"
+  "CMakeFiles/dtn_cache.dir/replacement.cpp.o"
+  "CMakeFiles/dtn_cache.dir/replacement.cpp.o.d"
+  "CMakeFiles/dtn_cache.dir/response.cpp.o"
+  "CMakeFiles/dtn_cache.dir/response.cpp.o.d"
+  "libdtn_cache.a"
+  "libdtn_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtn_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

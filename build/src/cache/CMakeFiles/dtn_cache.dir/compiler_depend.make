@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dtn_cache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtn_common.dir/logging.cpp.o"
+  "CMakeFiles/dtn_common.dir/logging.cpp.o.d"
+  "CMakeFiles/dtn_common.dir/rng.cpp.o"
+  "CMakeFiles/dtn_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dtn_common.dir/stats.cpp.o"
+  "CMakeFiles/dtn_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dtn_common.dir/table.cpp.o"
+  "CMakeFiles/dtn_common.dir/table.cpp.o.d"
+  "libdtn_common.a"
+  "libdtn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

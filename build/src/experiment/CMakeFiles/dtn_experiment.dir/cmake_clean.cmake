@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtn_experiment.dir/experiment.cpp.o"
+  "CMakeFiles/dtn_experiment.dir/experiment.cpp.o.d"
+  "CMakeFiles/dtn_experiment.dir/sweep.cpp.o"
+  "CMakeFiles/dtn_experiment.dir/sweep.cpp.o.d"
+  "libdtn_experiment.a"
+  "libdtn_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtn_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

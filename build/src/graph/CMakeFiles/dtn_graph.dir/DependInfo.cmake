@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/all_pairs.cpp" "src/graph/CMakeFiles/dtn_graph.dir/all_pairs.cpp.o" "gcc" "src/graph/CMakeFiles/dtn_graph.dir/all_pairs.cpp.o.d"
+  "/root/repo/src/graph/analysis.cpp" "src/graph/CMakeFiles/dtn_graph.dir/analysis.cpp.o" "gcc" "src/graph/CMakeFiles/dtn_graph.dir/analysis.cpp.o.d"
+  "/root/repo/src/graph/contact_graph.cpp" "src/graph/CMakeFiles/dtn_graph.dir/contact_graph.cpp.o" "gcc" "src/graph/CMakeFiles/dtn_graph.dir/contact_graph.cpp.o.d"
+  "/root/repo/src/graph/hypoexp.cpp" "src/graph/CMakeFiles/dtn_graph.dir/hypoexp.cpp.o" "gcc" "src/graph/CMakeFiles/dtn_graph.dir/hypoexp.cpp.o.d"
+  "/root/repo/src/graph/ncl.cpp" "src/graph/CMakeFiles/dtn_graph.dir/ncl.cpp.o" "gcc" "src/graph/CMakeFiles/dtn_graph.dir/ncl.cpp.o.d"
+  "/root/repo/src/graph/opportunistic_path.cpp" "src/graph/CMakeFiles/dtn_graph.dir/opportunistic_path.cpp.o" "gcc" "src/graph/CMakeFiles/dtn_graph.dir/opportunistic_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dtn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dtn_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

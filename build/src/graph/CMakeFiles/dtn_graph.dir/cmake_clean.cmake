@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtn_graph.dir/all_pairs.cpp.o"
+  "CMakeFiles/dtn_graph.dir/all_pairs.cpp.o.d"
+  "CMakeFiles/dtn_graph.dir/analysis.cpp.o"
+  "CMakeFiles/dtn_graph.dir/analysis.cpp.o.d"
+  "CMakeFiles/dtn_graph.dir/contact_graph.cpp.o"
+  "CMakeFiles/dtn_graph.dir/contact_graph.cpp.o.d"
+  "CMakeFiles/dtn_graph.dir/hypoexp.cpp.o"
+  "CMakeFiles/dtn_graph.dir/hypoexp.cpp.o.d"
+  "CMakeFiles/dtn_graph.dir/ncl.cpp.o"
+  "CMakeFiles/dtn_graph.dir/ncl.cpp.o.d"
+  "CMakeFiles/dtn_graph.dir/opportunistic_path.cpp.o"
+  "CMakeFiles/dtn_graph.dir/opportunistic_path.cpp.o.d"
+  "libdtn_graph.a"
+  "libdtn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtn_net.dir/buffer.cpp.o"
+  "CMakeFiles/dtn_net.dir/buffer.cpp.o.d"
+  "CMakeFiles/dtn_net.dir/message.cpp.o"
+  "CMakeFiles/dtn_net.dir/message.cpp.o.d"
+  "libdtn_net.a"
+  "libdtn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtn_routing.dir/engine.cpp.o"
+  "CMakeFiles/dtn_routing.dir/engine.cpp.o.d"
+  "CMakeFiles/dtn_routing.dir/protocols.cpp.o"
+  "CMakeFiles/dtn_routing.dir/protocols.cpp.o.d"
+  "CMakeFiles/dtn_routing.dir/router.cpp.o"
+  "CMakeFiles/dtn_routing.dir/router.cpp.o.d"
+  "libdtn_routing.a"
+  "libdtn_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtn_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtn_sim.dir/engine.cpp.o"
+  "CMakeFiles/dtn_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/dtn_sim.dir/metrics.cpp.o"
+  "CMakeFiles/dtn_sim.dir/metrics.cpp.o.d"
+  "libdtn_sim.a"
+  "libdtn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtn_trace.dir/mobility.cpp.o"
+  "CMakeFiles/dtn_trace.dir/mobility.cpp.o.d"
+  "CMakeFiles/dtn_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/dtn_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/dtn_trace.dir/trace.cpp.o"
+  "CMakeFiles/dtn_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/dtn_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/dtn_trace.dir/trace_io.cpp.o.d"
+  "libdtn_trace.a"
+  "libdtn_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtn_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/workload.cpp" "src/workload/CMakeFiles/dtn_workload.dir/workload.cpp.o" "gcc" "src/workload/CMakeFiles/dtn_workload.dir/workload.cpp.o.d"
+  "/root/repo/src/workload/zipf.cpp" "src/workload/CMakeFiles/dtn_workload.dir/zipf.cpp.o" "gcc" "src/workload/CMakeFiles/dtn_workload.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dtn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dtn_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtn_workload.dir/workload.cpp.o"
+  "CMakeFiles/dtn_workload.dir/workload.cpp.o.d"
+  "CMakeFiles/dtn_workload.dir/zipf.cpp.o"
+  "CMakeFiles/dtn_workload.dir/zipf.cpp.o.d"
+  "libdtn_workload.a"
+  "libdtn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_test.dir/buffer_test.cpp.o"
+  "CMakeFiles/buffer_test.dir/buffer_test.cpp.o.d"
+  "buffer_test"
+  "buffer_test.pdb"
+  "buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

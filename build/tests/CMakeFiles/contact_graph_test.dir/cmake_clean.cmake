@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contact_graph_test.dir/contact_graph_test.cpp.o"
+  "CMakeFiles/contact_graph_test.dir/contact_graph_test.cpp.o.d"
+  "contact_graph_test"
+  "contact_graph_test.pdb"
+  "contact_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contact_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

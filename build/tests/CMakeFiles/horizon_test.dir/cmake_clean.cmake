@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horizon_test.dir/horizon_test.cpp.o"
+  "CMakeFiles/horizon_test.dir/horizon_test.cpp.o.d"
+  "horizon_test"
+  "horizon_test.pdb"
+  "horizon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horizon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

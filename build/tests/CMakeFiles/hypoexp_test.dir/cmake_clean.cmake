@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypoexp_test.dir/hypoexp_test.cpp.o"
+  "CMakeFiles/hypoexp_test.dir/hypoexp_test.cpp.o.d"
+  "hypoexp_test"
+  "hypoexp_test.pdb"
+  "hypoexp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypoexp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

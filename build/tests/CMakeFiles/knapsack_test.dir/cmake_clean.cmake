@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knapsack_test.dir/knapsack_test.cpp.o"
+  "CMakeFiles/knapsack_test.dir/knapsack_test.cpp.o.d"
+  "knapsack_test"
+  "knapsack_test.pdb"
+  "knapsack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knapsack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_test.dir/message_test.cpp.o"
+  "CMakeFiles/message_test.dir/message_test.cpp.o.d"
+  "message_test"
+  "message_test.pdb"
+  "message_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

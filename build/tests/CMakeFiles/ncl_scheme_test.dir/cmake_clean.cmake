@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_scheme_test.dir/ncl_scheme_test.cpp.o"
+  "CMakeFiles/ncl_scheme_test.dir/ncl_scheme_test.cpp.o.d"
+  "ncl_scheme_test"
+  "ncl_scheme_test.pdb"
+  "ncl_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

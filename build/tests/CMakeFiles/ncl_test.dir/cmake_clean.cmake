@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_test.dir/ncl_test.cpp.o"
+  "CMakeFiles/ncl_test.dir/ncl_test.cpp.o.d"
+  "ncl_test"
+  "ncl_test.pdb"
+  "ncl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opportunistic_path_test.dir/opportunistic_path_test.cpp.o"
+  "CMakeFiles/opportunistic_path_test.dir/opportunistic_path_test.cpp.o.d"
+  "opportunistic_path_test"
+  "opportunistic_path_test.pdb"
+  "opportunistic_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opportunistic_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

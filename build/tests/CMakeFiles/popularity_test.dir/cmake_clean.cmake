@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popularity_test.dir/popularity_test.cpp.o"
+  "CMakeFiles/popularity_test.dir/popularity_test.cpp.o.d"
+  "popularity_test"
+  "popularity_test.pdb"
+  "popularity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popularity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replacement_test.dir/replacement_test.cpp.o"
+  "CMakeFiles/replacement_test.dir/replacement_test.cpp.o.d"
+  "replacement_test"
+  "replacement_test.pdb"
+  "replacement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replacement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/response_test.dir/response_test.cpp.o"
+  "CMakeFiles/response_test.dir/response_test.cpp.o.d"
+  "response_test"
+  "response_test.pdb"
+  "response_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/response_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipf_test.dir/zipf_test.cpp.o"
+  "CMakeFiles/zipf_test.dir/zipf_test.cpp.o.d"
+  "zipf_test"
+  "zipf_test.pdb"
+  "zipf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

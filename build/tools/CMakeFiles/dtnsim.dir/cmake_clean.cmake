@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnsim.dir/dtnsim.cpp.o"
+  "CMakeFiles/dtnsim.dir/dtnsim.cpp.o.d"
+  "dtnsim"
+  "dtnsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
