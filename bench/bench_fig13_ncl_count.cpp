@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
       config.ncl_count = k;
       config.repetitions = args.reps;
       config.sim.maintenance_interval = hours(2);
+      config.sim.threads = args.threads;
       const ExperimentResult r =
           run_experiment(trace, SchemeKind::kNclCache, config);
       ratio.add_number(r.success_ratio.mean(), 3);

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   config.message_count = args.fast ? 100 : 300;
   config.message_size = megabits(10);
   config.ttl = days(2);
+  config.threads = args.threads;
 
   std::vector<std::unique_ptr<Router>> routers;
   routers.push_back(std::make_unique<DirectDeliveryRouter>(trace.node_count()));

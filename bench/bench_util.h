@@ -15,6 +15,7 @@ struct BenchArgs {
   int reps = 2;
   double days = 0.0;  ///< 0 = bench-specific default
   bool fast = false;
+  int threads = 0;    ///< 0 = hardware_concurrency, 1 = serial baseline
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -23,11 +24,15 @@ struct BenchArgs {
         args.reps = std::atoi(argv[++i]);
       } else if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
         args.days = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        args.threads = std::atoi(argv[++i]);
       } else if (std::strcmp(argv[i], "--fast") == 0) {
         args.fast = true;
       } else {
-        std::fprintf(stderr,
-                     "usage: %s [--reps N] [--days D] [--fast]\n", argv[0]);
+        std::fprintf(
+            stderr,
+            "usage: %s [--reps N] [--days D] [--threads T] [--fast]\n",
+            argv[0]);
         std::exit(2);
       }
     }

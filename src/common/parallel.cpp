@@ -1,0 +1,178 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+namespace dtn {
+namespace {
+
+// True while the current thread is executing pool items (worker threads
+// permanently; submitting threads during their own batch). parallel_for
+// consults it to run nested loops inline instead of deadlocking on the
+// one-batch-at-a-time pool.
+thread_local bool tls_in_worker = false;
+
+// Hard bound on pool growth: determinism never depends on thread count, so
+// the cap only limits resource usage for absurd knob values.
+constexpr std::size_t kMaxWorkers = 256;
+
+class InWorkerScope {
+ public:
+  InWorkerScope() { tls_in_worker = true; }
+  ~InWorkerScope() { tls_in_worker = false; }
+};
+
+}  // namespace
+
+int resolve_threads(int threads) {
+  if (threads < 0) throw std::invalid_argument("threads must be >= 0");
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  grow_to_locked(resolve_threads(threads));
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+int ThreadPool::thread_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(workers_.size()) + 1;
+}
+
+bool ThreadPool::in_worker() { return tls_in_worker; }
+
+void ThreadPool::grow_to_locked(int threads) {
+  // Caller holds submit_mutex_, which also serializes pool growth.
+  const std::size_t want = std::min<std::size_t>(
+      kMaxWorkers, static_cast<std::size_t>(std::max(0, threads - 1)));
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (workers_.size() < want) {
+    // A worker spawned mid-stream must not mistake the previous, already
+    // finished batch for new work, so it starts at the current generation.
+    workers_.emplace_back(
+        [this, gen = generation_] { worker_loop(gen); });
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_for_capped(n, fn, thread_count());
+}
+
+void ThreadPool::parallel_for_capped(
+    std::size_t n, const std::function<void(std::size_t)>& fn,
+    int max_threads) {
+  if (n == 0) return;
+  if (tls_in_worker || n == 1 || max_threads <= 1) {
+    // Serial path: ascending order, first exception propagates directly
+    // (which is also the lowest-index one).
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  grow_to_locked(max_threads);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (workers_.empty()) {
+      // Growth capped out at zero workers (threads == 1 pool): run inline.
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    task_ = &fn;
+    batch_size_ = n;
+    worker_cap_ = std::min<std::size_t>(
+        workers_.size(), static_cast<std::size_t>(max_threads - 1));
+    next_.store(0, std::memory_order_relaxed);
+    entered_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    error_index_ = n;
+    active_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  {
+    // The submitter works the batch too, flagged as a worker so nested
+    // parallel_for calls from fn run inline.
+    InWorkerScope scope;
+    run_items(fn, n);
+  }
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+    task_ = nullptr;
+    error = error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::worker_loop(std::uint64_t start_generation) {
+  tls_in_worker = true;
+  std::uint64_t seen = start_generation;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const auto* fn = task_;
+    const std::size_t n = batch_size_;
+    const std::size_t cap = worker_cap_;
+    lock.unlock();
+    // The cap admits only the first `cap` workers so a smaller requested
+    // thread count is honored on a larger shared pool.
+    if (entered_.fetch_add(1, std::memory_order_relaxed) < cap) {
+      run_items(*fn, n);
+    }
+    lock.lock();
+    if (--active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run_items(const std::function<void(std::size_t)>& fn,
+                           std::size_t n) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_ || i < error_index_) {
+        error_ = std::current_exception();
+        error_index_ = i;
+      }
+    }
+  }
+}
+
+ThreadPool& global_pool() {
+  // Starts with zero workers and grows to each request's cap, so programs
+  // that never ask for parallelism never spawn a thread.
+  static ThreadPool pool(1);
+  return pool;
+}
+
+void parallel_for(int threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  const int t = resolve_threads(threads);
+  if (t <= 1 || n <= 1 || ThreadPool::in_worker()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  global_pool().parallel_for_capped(n, fn, t);
+}
+
+}  // namespace dtn

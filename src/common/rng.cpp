@@ -18,6 +18,11 @@ std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 
 }  // namespace
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  std::uint64_t x = base + (stream + 1) * 0x9E3779B97F4A7C15ULL;
+  return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/parallel.h"
 #include "baselines/bundle_cache.h"
 #include "baselines/cache_data.h"
 #include "baselines/no_cache.h"
@@ -32,14 +33,16 @@ Time effective_horizon(const ContactGraph& graph,
                        const ExperimentConfig& config) {
   if (!config.auto_horizon) return config.sim.path_horizon;
   return calibrate_horizon(graph, config.horizon_target_median, minutes(1),
-                           days(90), config.sim.max_hops);
+                           days(90), config.sim.max_hops,
+                           config.sim.threads);
 }
 
 NclSelection warmup_ncl_selection(const ContactTrace& trace,
                                   const ExperimentConfig& config) {
   const ContactGraph graph = warmup_graph(trace, config);
   return select_ncls(graph, effective_horizon(graph, config),
-                     config.ncl_count, config.sim.max_hops);
+                     config.ncl_count, config.sim.max_hops,
+                     config.sim.threads);
 }
 
 std::vector<Bytes> draw_buffer_capacities(const ExperimentConfig& config,
@@ -107,46 +110,69 @@ ExperimentResult run_experiment(const ContactTrace& trace, SchemeKind kind,
   const ContactGraph graph = warmup_graph(trace, config);
   const Time horizon = effective_horizon(graph, config);
   const NclSelection ncls = select_ncls(graph, horizon, config.ncl_count,
-                                        config.sim.max_hops);
+                                        config.sim.max_hops,
+                                        config.sim.threads);
 
-  for (int rep = 0; rep < config.repetitions; ++rep) {
-    const std::uint64_t rep_seed =
-        config.seed + 0x9E3779B9ULL * static_cast<std::uint64_t>(rep + 1);
+  // Repetitions are independent (each derives its own seeds from the rep
+  // index), so they run on the thread pool; the fold below accumulates the
+  // per-rep outcomes in rep order, keeping the aggregated statistics
+  // bit-identical to the serial path for every thread count.
+  struct RepOutcome {
+    double success_ratio, delay_hours, copies, replacement;
+    double issued, satisfied, gigabytes, duplicates;
+    bool has_delay;
+  };
+  const std::size_t reps = static_cast<std::size_t>(config.repetitions);
+  const std::vector<RepOutcome> outcomes = parallel_map(
+      config.sim.threads, reps, [&](std::size_t rep) {
+        const std::uint64_t rep_seed =
+            config.seed + 0x9E3779B9ULL * static_cast<std::uint64_t>(rep + 1);
 
-    WorkloadConfig wc;
-    wc.start = warmup_end;
-    wc.end = trace.end_time();
-    wc.avg_lifetime = config.avg_lifetime;
-    wc.generation_prob = config.generation_prob;
-    wc.avg_size = config.avg_data_size;
-    wc.zipf_exponent = config.zipf_exponent;
-    wc.query_constraint_factor = config.query_constraint_factor;
-    wc.seed = rep_seed;
-    const Workload workload = generate_workload(wc, trace.node_count());
+        WorkloadConfig wc;
+        wc.start = warmup_end;
+        wc.end = trace.end_time();
+        wc.avg_lifetime = config.avg_lifetime;
+        wc.generation_prob = config.generation_prob;
+        wc.avg_size = config.avg_data_size;
+        wc.zipf_exponent = config.zipf_exponent;
+        wc.query_constraint_factor = config.query_constraint_factor;
+        wc.seed = rep_seed;
+        const Workload workload = generate_workload(wc, trace.node_count());
 
-    std::vector<Bytes> buffers =
-        draw_buffer_capacities(config, trace.node_count(), rep_seed ^ 0xB0FFu);
-    std::unique_ptr<Scheme> scheme =
-        make_scheme(kind, config, ncls, std::move(buffers));
+        std::vector<Bytes> buffers = draw_buffer_capacities(
+            config, trace.node_count(), rep_seed ^ 0xB0FFu);
+        std::unique_ptr<Scheme> scheme =
+            make_scheme(kind, config, ncls, std::move(buffers));
 
-    SimConfig sc = config.sim;
-    sc.path_horizon = horizon;
-    sc.seed = rep_seed ^ 0x51Au;
-    const RunResult run = run_simulation(trace, workload, *scheme, sc);
+        SimConfig sc = config.sim;
+        sc.path_horizon = horizon;
+        sc.seed = rep_seed ^ 0x51Au;
+        const RunResult run = run_simulation(trace, workload, *scheme, sc);
 
-    result.success_ratio.add(run.metrics.success_ratio());
-    if (run.metrics.queries_satisfied() > 0) {
-      result.delay_hours.add(run.metrics.mean_delay() / 3600.0);
-    }
-    result.copies_per_item.add(run.metrics.mean_copies());
-    result.replacement_overhead.add(run.metrics.replacement_overhead());
-    result.queries_issued.add(static_cast<double>(run.metrics.queries_issued()));
-    result.queries_satisfied.add(
-        static_cast<double>(run.metrics.queries_satisfied()));
-    result.gigabytes_transferred.add(
-        static_cast<double>(run.metrics.bytes_transferred()) / 1e9);
-    result.duplicate_deliveries.add(
-        static_cast<double>(run.metrics.duplicate_deliveries()));
+        RepOutcome o;
+        o.success_ratio = run.metrics.success_ratio();
+        o.has_delay = run.metrics.queries_satisfied() > 0;
+        o.delay_hours = o.has_delay ? run.metrics.mean_delay() / 3600.0 : 0.0;
+        o.copies = run.metrics.mean_copies();
+        o.replacement = run.metrics.replacement_overhead();
+        o.issued = static_cast<double>(run.metrics.queries_issued());
+        o.satisfied = static_cast<double>(run.metrics.queries_satisfied());
+        o.gigabytes =
+            static_cast<double>(run.metrics.bytes_transferred()) / 1e9;
+        o.duplicates =
+            static_cast<double>(run.metrics.duplicate_deliveries());
+        return o;
+      });
+
+  for (const RepOutcome& o : outcomes) {
+    result.success_ratio.add(o.success_ratio);
+    if (o.has_delay) result.delay_hours.add(o.delay_hours);
+    result.copies_per_item.add(o.copies);
+    result.replacement_overhead.add(o.replacement);
+    result.queries_issued.add(o.issued);
+    result.queries_satisfied.add(o.satisfied);
+    result.gigabytes_transferred.add(o.gigabytes);
+    result.duplicate_deliveries.add(o.duplicates);
   }
   return result;
 }

@@ -1,6 +1,10 @@
 #include "experiment/sweep.h"
 
+#include <mutex>
 #include <sstream>
+
+#include "common/parallel.h"
+#include "common/rng.h"
 
 namespace dtn {
 
@@ -17,38 +21,62 @@ std::vector<SweepRow> run_sweep(
                                   ? std::vector<int>{config.base.ncl_count}
                                   : config.ncl_counts;
 
-  const std::size_t total =
-      config.schemes.size() * lifetimes.size() * sizes.size() * ks.size();
-  std::vector<SweepRow> rows;
-  rows.reserve(total);
-
-  std::size_t done = 0;
+  // Enumerate the full grid up front so every cell knows its index; the
+  // index both addresses the row slot and derives the cell's RNG seed.
+  struct Cell {
+    SchemeKind scheme;
+    Time lifetime;
+    Bytes size;
+    int k;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(config.schemes.size() * lifetimes.size() * sizes.size() *
+                ks.size());
   for (int k : ks) {
     for (Time lifetime : lifetimes) {
       for (Bytes size : sizes) {
         for (SchemeKind scheme : config.schemes) {
-          ExperimentConfig cell = config.base;
-          cell.avg_lifetime = lifetime;
-          cell.avg_data_size = size;
-          cell.ncl_count = k;
-          const ExperimentResult r = run_experiment(trace, scheme, cell);
-
-          SweepRow row;
-          row.scheme = r.scheme;
-          row.avg_lifetime = lifetime;
-          row.avg_data_size = size;
-          row.ncl_count = k;
-          row.success_ratio = r.success_ratio.mean();
-          row.delay_hours = r.delay_hours.mean();
-          row.copies_per_item = r.copies_per_item.mean();
-          row.replacement_overhead = r.replacement_overhead.mean();
-          row.queries = r.queries_issued.mean();
-          rows.push_back(std::move(row));
-          if (progress) progress(++done, total);
+          cells.push_back({scheme, lifetime, size, k});
         }
       }
     }
   }
+
+  const std::size_t total = cells.size();
+  std::vector<SweepRow> rows(total);
+  std::mutex progress_mutex;
+  std::size_t done = 0;
+
+  parallel_for(config.threads, total, [&](std::size_t index) {
+    const Cell& c = cells[index];
+    ExperimentConfig cell = config.base;
+    cell.avg_lifetime = c.lifetime;
+    cell.avg_data_size = c.size;
+    cell.ncl_count = c.k;
+    // Seed as a pure function of (base seed, grid index): cells never share
+    // an RNG stream, so the schedule cannot leak into the results.
+    cell.seed = derive_seed(config.base.seed, index);
+    const ExperimentResult r = run_experiment(trace, c.scheme, cell);
+
+    SweepRow row;
+    row.scheme = r.scheme;
+    row.avg_lifetime = c.lifetime;
+    row.avg_data_size = c.size;
+    row.ncl_count = c.k;
+    row.success_ratio = r.success_ratio.mean();
+    row.delay_hours = r.delay_hours.mean();
+    row.copies_per_item = r.copies_per_item.mean();
+    row.replacement_overhead = r.replacement_overhead.mean();
+    row.queries = r.queries_issued.mean();
+    rows[index] = std::move(row);
+
+    if (progress) {
+      // The counter is incremented under the same mutex that serializes the
+      // callback, so observers see done = 1, 2, .., total in order.
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      progress(++done, total);
+    }
+  });
   return rows;
 }
 

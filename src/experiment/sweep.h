@@ -1,6 +1,12 @@
 // Declarative parameter sweeps: the cross product of lifetimes, data sizes,
 // NCL counts and schemes over one trace, with CSV export — the batch-mode
 // complement to the per-figure benches.
+//
+// Cells are independent experiments, so the grid runs on the shared thread
+// pool. Determinism contract: every cell's RNG seed is derived from the
+// base seed and the cell's grid index (never from the draw order of a
+// shared stream), rows are emitted in grid order, and `sweep_to_csv` output
+// is therefore byte-identical for every thread count.
 #pragma once
 
 #include <functional>
@@ -19,6 +25,11 @@ struct SweepConfig {
   std::vector<Time> lifetimes;       ///< empty = keep base.avg_lifetime
   std::vector<Bytes> data_sizes;     ///< empty = keep base.avg_data_size
   std::vector<int> ncl_counts;       ///< empty = keep base.ncl_count
+
+  /// Cells run concurrently on this many threads (resolve_threads
+  /// semantics: 0 = hardware_concurrency, 1 = the legacy serial path).
+  /// Purely a resource knob — results are identical for every value.
+  int threads = 0;
 };
 
 /// One sweep cell's outcome, flattened for tabulation.
@@ -34,8 +45,15 @@ struct SweepRow {
   double queries = 0.0;
 };
 
-/// Runs the full cross product. `progress` (optional) is called once per
-/// completed cell with (done, total).
+/// Runs the full cross product; rows come back in grid order (the same
+/// order the serial loops produced) regardless of completion order.
+///
+/// `progress` (optional) is called once per completed cell with
+/// (done, total). Contract: invocations are serialized under a mutex,
+/// `done` is monotonically non-decreasing (in fact exactly 1, 2, ..,
+/// total), and the final call carries done == total — even when cells
+/// finish out of order on the pool. `done` counts completed cells, not
+/// which cell completed.
 std::vector<SweepRow> run_sweep(
     const ContactTrace& trace, const SweepConfig& config,
     const std::function<void(std::size_t, std::size_t)>& progress = {});

@@ -2,18 +2,19 @@
 
 #include <stdexcept>
 
+#include "common/parallel.h"
 #include "graph/hypoexp.h"
 
 namespace dtn {
 
 AllPairsPaths::AllPairsPaths(const ContactGraph& graph, Time horizon,
-                             int max_hops)
+                             int max_hops, int threads)
     : horizon_(horizon) {
-  tables_.reserve(static_cast<std::size_t>(graph.node_count()));
-  for (NodeId root = 0; root < graph.node_count(); ++root) {
-    tables_.push_back(
-        compute_opportunistic_paths(graph, root, horizon, max_hops));
-  }
+  const std::size_t n = static_cast<std::size_t>(graph.node_count());
+  tables_ = parallel_map(threads, n, [&](std::size_t root) {
+    return compute_opportunistic_paths(graph, static_cast<NodeId>(root),
+                                       horizon, max_hops);
+  });
 }
 
 const PathTable& AllPairsPaths::table(NodeId root) const {

@@ -20,8 +20,13 @@ class AllPairsPaths {
  public:
   AllPairsPaths() = default;
 
-  /// Computes one PathTable per root. O(N) Dijkstra runs.
-  AllPairsPaths(const ContactGraph& graph, Time horizon, int max_hops = 8);
+  /// Computes one PathTable per root. O(N) Dijkstra runs; the roots are
+  /// independent, so they run on the shared thread pool (`threads` follows
+  /// resolve_threads semantics: 0 = hardware_concurrency, 1 = serial).
+  /// Each table is written into its preallocated slot, so the result is
+  /// bit-identical for every thread count.
+  AllPairsPaths(const ContactGraph& graph, Time horizon, int max_hops = 8,
+                int threads = 0);
 
   NodeId node_count() const { return static_cast<NodeId>(tables_.size()); }
   bool empty() const { return tables_.empty(); }

@@ -5,22 +5,25 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/parallel.h"
+
 namespace dtn {
 
 std::vector<double> ncl_metrics(const ContactGraph& graph, Time horizon,
-                                int max_hops) {
+                                int max_hops, int threads) {
   const NodeId n = graph.node_count();
   std::vector<double> metrics(static_cast<std::size_t>(n), 0.0);
   if (n < 2) return metrics;
-  for (NodeId i = 0; i < n; ++i) {
+  parallel_for(threads, static_cast<std::size_t>(n), [&](std::size_t root) {
+    const NodeId i = static_cast<NodeId>(root);
     const PathTable table = compute_opportunistic_paths(graph, i, horizon, max_hops);
     double sum = 0.0;
     for (NodeId j = 0; j < n; ++j) {
       if (j == i) continue;
       sum += table.weight(j);
     }
-    metrics[static_cast<std::size_t>(i)] = sum / static_cast<double>(n - 1);
-  }
+    metrics[root] = sum / static_cast<double>(n - 1);
+  });
   return metrics;
 }
 
@@ -36,10 +39,10 @@ int NclSelection::central_index(NodeId node) const {
 }
 
 NclSelection select_ncls(const ContactGraph& graph, Time horizon, int k,
-                         int max_hops) {
+                         int max_hops, int threads) {
   if (k < 1) throw std::invalid_argument("k must be >= 1");
   NclSelection selection;
-  selection.metric = ncl_metrics(graph, horizon, max_hops);
+  selection.metric = ncl_metrics(graph, horizon, max_hops, threads);
 
   std::vector<NodeId> order(selection.metric.size());
   std::iota(order.begin(), order.end(), 0);
@@ -57,7 +60,8 @@ NclSelection select_ncls(const ContactGraph& graph, Time horizon, int k,
 }
 
 Time calibrate_horizon(const ContactGraph& graph, double target_median,
-                       Time min_horizon, Time max_horizon, int max_hops) {
+                       Time min_horizon, Time max_horizon, int max_hops,
+                       int threads) {
   if (!(target_median > 0.0) || target_median >= 1.0) {
     throw std::invalid_argument("target_median must be in (0, 1)");
   }
@@ -65,7 +69,7 @@ Time calibrate_horizon(const ContactGraph& graph, double target_median,
     throw std::invalid_argument("invalid horizon bounds");
   }
   auto median_metric = [&](Time horizon) {
-    std::vector<double> m = ncl_metrics(graph, horizon, max_hops);
+    std::vector<double> m = ncl_metrics(graph, horizon, max_hops, threads);
     if (m.empty()) return 0.0;
     std::nth_element(m.begin(), m.begin() + static_cast<std::ptrdiff_t>(m.size() / 2),
                      m.end());

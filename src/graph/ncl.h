@@ -17,9 +17,12 @@
 namespace dtn {
 
 /// NCL metric C_i for every node (Eq. 3). Because contacts are symmetric,
-/// p_ji = p_ij, so one single-source computation per node suffices.
+/// p_ji = p_ij, so one single-source computation per node suffices. The
+/// per-root computations are independent and run on the shared thread pool
+/// (`threads`: 0 = hardware_concurrency, 1 = serial); each metric is
+/// written to its own index, so results are identical for any thread count.
 std::vector<double> ncl_metrics(const ContactGraph& graph, Time horizon,
-                                int max_hops = 8);
+                                int max_hops = 8, int threads = 0);
 
 /// The outcome of NCL selection.
 struct NclSelection {
@@ -36,7 +39,7 @@ struct NclSelection {
 /// Selects the top `k` nodes by NCL metric. Ties break towards the lower
 /// node id for determinism.
 NclSelection select_ncls(const ContactGraph& graph, Time horizon, int k,
-                         int max_hops = 8);
+                         int max_hops = 8, int threads = 0);
 
 /// Adaptive choice of the time budget T (Sec. IV-B): "inappropriate values
 /// of T will make C_i close to 0 or 1 ... different values of T are used
@@ -47,6 +50,6 @@ Time calibrate_horizon(const ContactGraph& graph,
                        double target_median = 0.3,
                        Time min_horizon = 60.0,
                        Time max_horizon = 90.0 * 86400.0,
-                       int max_hops = 8);
+                       int max_hops = 8, int threads = 0);
 
 }  // namespace dtn

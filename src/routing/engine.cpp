@@ -70,8 +70,11 @@ RoutingResult run_routing(const ContactTrace& trace, Router& router,
 
     if (contact.start >= next_maintenance) {
       const ContactGraph graph = estimator.snapshot(contact.start, 2);
-      if (horizon <= 0.0) horizon = calibrate_horizon(graph, 0.3);
-      paths = AllPairsPaths(graph, horizon, config.max_hops);
+      if (horizon <= 0.0) {
+        horizon = calibrate_horizon(graph, 0.3, minutes(1), days(90), 8,
+                                    config.threads);
+      }
+      paths = AllPairsPaths(graph, horizon, config.max_hops, config.threads);
       ctx.paths = &paths;
       next_maintenance = contact.start + config.maintenance_interval;
     }

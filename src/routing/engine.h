@@ -24,6 +24,9 @@ struct RoutingExperimentConfig {
   int max_hops = 8;
   Bytes bandwidth_per_second = megabits(2.1);
   std::uint64_t seed = 99;
+  /// Threads for path-table refreshes (0 = hardware_concurrency,
+  /// 1 = serial). Results are identical for every value.
+  int threads = 0;
 };
 
 struct RoutingResult {

@@ -22,6 +22,9 @@ void validate(const SimConfig& config) {
   if (config.contact_miss_prob < 0.0 || config.contact_miss_prob > 1.0) {
     throw std::invalid_argument("contact_miss_prob must be in [0,1]");
   }
+  if (config.threads < 0) {
+    throw std::invalid_argument("threads must be >= 0");
+  }
   for (const auto& d : config.node_downtime) {
     if (d.node < 0 || d.to < d.from) {
       throw std::invalid_argument("invalid downtime interval");
@@ -115,7 +118,7 @@ RunResult run_simulation(const ContactTrace& trace, const Workload& workload,
     services.set_now(now);
     services.set_paths(AllPairsPaths(
         estimator.snapshot(now, config.min_contacts_for_rate),
-        config.path_horizon, config.max_hops));
+        config.path_horizon, config.max_hops, config.threads));
     if (!started) {
       scheme.on_start(services);
       started = true;

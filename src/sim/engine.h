@@ -44,6 +44,12 @@ struct SimConfig {
   /// Seed for the scheme-visible RNG stream (workload has its own seed).
   std::uint64_t seed = 7;
 
+  /// Thread count for the embarrassingly parallel substrate work (per-root
+  /// path tables at maintenance ticks, NCL metric computation). 0 =
+  /// hardware_concurrency, 1 = fully serial. Results are bit-identical for
+  /// every value; this is purely a resource knob.
+  int threads = 0;
+
   // ---- failure injection ----
 
   /// Each contact is independently missed (failed discovery, interference)

@@ -79,6 +79,52 @@ TEST(Sweep, CsvShape) {
   EXPECT_NE(csv.find("NCL-Cache,24,"), std::string::npos);
 }
 
+// Golden test pinning the sweep_to_csv contract — header text, column
+// order, 6-significant-digit precision, and the unit conversions (lifetime
+// seconds -> hours, size bytes -> megabits). Any refactoring of the sweep
+// (parallel or otherwise) that changes a byte of this output is a breaking
+// change to downstream CSV consumers and must fail here.
+TEST(Sweep, GoldenCsvFormat) {
+  std::vector<SweepRow> rows;
+
+  SweepRow a;
+  a.scheme = "NCL-Cache";
+  a.avg_lifetime = hours(12);
+  a.avg_data_size = megabits(40);
+  a.ncl_count = 4;
+  a.success_ratio = 0.123456789;  // rounds to 6 significant digits
+  a.delay_hours = 1.5;
+  a.copies_per_item = 2.25;
+  a.replacement_overhead = 0.0625;
+  a.queries = 1234.5;
+  rows.push_back(a);
+
+  SweepRow b;
+  b.scheme = "NoCache";
+  b.avg_lifetime = weeks(1);
+  b.avg_data_size = megabits(100);
+  b.ncl_count = 1;
+  b.success_ratio = 1.0;
+  b.delay_hours = 0.0;
+  b.copies_per_item = 1.0 / 3.0;        // 0.333333
+  b.replacement_overhead = 12345678.0;  // switches to scientific notation
+  b.queries = 2e6;
+  rows.push_back(b);
+
+  const std::string golden =
+      "scheme,lifetime_hours,size_mb,k,success_ratio,delay_hours,"
+      "copies_per_item,replacement_overhead,queries\n"
+      "NCL-Cache,12,40,4,0.123457,1.5,2.25,0.0625,1234.5\n"
+      "NoCache,168,100,1,1,0,0.333333,1.23457e+07,2e+06\n";
+  EXPECT_EQ(sweep_to_csv(rows), golden);
+}
+
+TEST(Sweep, CsvEmptyRowsStillEmitHeader) {
+  EXPECT_EQ(sweep_to_csv({}),
+            "scheme,lifetime_hours,size_mb,k,success_ratio,delay_hours,"
+            "copies_per_item,replacement_overhead,queries\n");
+}
+
 TEST(Sweep, Deterministic) {
   SweepConfig s = base_sweep();
   const auto a = run_sweep(sweep_trace(), s);

@@ -43,6 +43,7 @@ struct CliOptions {
   double miss_prob = 0.0;
   bool dynamic_ncl = false;
   bool csv = false;
+  int threads = 0;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -64,7 +65,9 @@ struct CliOptions {
       "  --strategy M     utility|fifo|lru|gds\n"
       "  --miss-prob P    contact miss probability (failure injection)\n"
       "  --dynamic-ncl    re-select central nodes at every maintenance tick\n"
-      "  --csv            machine-readable CSV instead of a table\n",
+      "  --csv            machine-readable CSV instead of a table\n"
+      "  --threads T      worker threads (0 = all cores, 1 = serial);\n"
+      "                   results are identical for every value\n",
       argv0);
   std::exit(2);
 }
@@ -115,6 +118,12 @@ CliOptions parse(int argc, char** argv) {
       options.miss_prob = std::atof(next_value(i));
     } else if (flag == "--dynamic-ncl") {
       options.dynamic_ncl = true;
+    } else if (flag == "--threads") {
+      options.threads = std::atoi(next_value(i));
+      if (options.threads < 0) {
+        std::fprintf(stderr, "--threads must be >= 0 (0 = all cores)\n");
+        std::exit(2);
+      }
     } else if (flag == "--csv") {
       options.csv = true;
     } else {
@@ -210,6 +219,7 @@ int main(int argc, char** argv) {
   config.sim.maintenance_interval =
       std::max(hours(1), config.avg_lifetime / 7.0);
   config.sim.contact_miss_prob = options.miss_prob;
+  config.sim.threads = options.threads;
 
   if (options.response == "pathweight") {
     config.response_mode = ResponseMode::kPathWeight;

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the parallel layer.
+#
+#   tools/verify.sh            # full: release build + all tests + TSan pass
+#   tools/verify.sh --no-tsan  # tier-1 only (e.g. toolchain without libtsan)
+#
+# The TSan stage rebuilds into build-tsan/ with DTN_SANITIZE=thread and runs
+# the tests that hammer the thread pool (parallel_test, determinism_test,
+# sweep_test): proving "parallel == serial bit-for-bit" is only meaningful
+# if the parallel path is also race-free.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tsan=1
+[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+
+echo "== tier-1: release build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)" >/dev/null
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [[ "$run_tsan" == 1 ]]; then
+  if echo 'int main(){return 0;}' | c++ -fsanitize=thread -x c++ - -o /tmp/dtn_tsan_probe 2>/dev/null; then
+    rm -f /tmp/dtn_tsan_probe
+    echo "== TSan: parallel layer under -fsanitize=thread =="
+    cmake -B build-tsan -S . -DDTN_SANITIZE=thread >/dev/null
+    cmake --build build-tsan -j"$(nproc)" \
+      --target parallel_test determinism_test sweep_test >/dev/null
+    ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+      -R 'ResolveThreads|ParallelFor|ParallelMap|ParallelReduce|DeriveSeed|ThreadPool|Determinism|Sweep'
+  else
+    echo "!! skipping TSan pass: toolchain cannot link -fsanitize=thread" >&2
+  fi
+fi
+
+echo "verify: OK"
