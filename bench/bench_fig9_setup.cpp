@@ -42,7 +42,8 @@ int main(int argc, char** argv) {
     a.add_cell(format_duration(wc.avg_lifetime));
     a.add_integer(static_cast<long long>(w.data_count()));
     a.add_number(samples ? alive_sum / samples : 0.0, 1);
-    a.add_number(bytes / 1e6 / (w.data_count() ? w.data_count() : 1) *
+    a.add_number(bytes / 1e6 /
+                     static_cast<double>(w.data_count() ? w.data_count() : 1) *
                      (samples ? alive_sum / samples : 0.0),
                  0);
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace dtn {
 
 KnapsackResult solve_knapsack(const std::vector<KnapsackItem>& items,
@@ -51,6 +53,13 @@ KnapsackResult solve_knapsack(const std::vector<KnapsackItem>& items,
     }
   }
   std::reverse(result.selected.begin(), result.selected.end());
+  // Eq. 7 feasibility: sizes were quantized *up*, so the exact byte total of
+  // the selection can never exceed the byte capacity.
+  DTN_CHECK_LE(result.total_size, capacity);
+  DTN_CHECK_FINITE(result.total_value);
+  DTN_CHECK_GE(result.total_value, 0.0);
+  DTN_CHECK(std::is_sorted(result.selected.begin(), result.selected.end()),
+            "knapsack selection is unique and in input order");
   return result;
 }
 

@@ -1,8 +1,9 @@
 #include "cache/ncl_scheme.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "common/check.h"
 
 namespace dtn {
 
@@ -153,6 +154,9 @@ void NclCachingScheme::maybe_respond(SimServices& services, NodeId node,
                                                      query.remaining(now));
       break;
   }
+  // The reply probability feeding the Bernoulli draw must be a genuine
+  // probability whichever response mode produced it (Eq. 4 / path weight).
+  DTN_CHECK_PROB(probability);
   if (!services.rng().bernoulli(probability)) return;
 
   ns.responses.push_back(ResponseBundle{query, item.size});
@@ -341,8 +345,7 @@ void NclCachingScheme::transfer_direction(SimServices& services, NodeId from,
         }
         services.count_bytes(item.size);
         const bool inserted = dst.buffer.insert(token.data, item.size);
-        assert(inserted);
-        (void)inserted;
+        DTN_CHECK(inserted, "push insert must succeed after fits() check");
         dst.entries[token.data] = make_entry(services, to, item.size,
                                              token.central, to != token.central);
         ++counters_.token_hops;
@@ -545,6 +548,10 @@ void NclCachingScheme::on_contact(SimServices& services, NodeId a, NodeId b,
       config_.strategy == CacheStrategy::kUtilityExchange) {
     run_replacement(services, a, b, budget);
   }
+  // Buffer occupancy <= capacity after every contact event: pushes, reply
+  // forwarding and the knapsack exchange all charge the same byte budget.
+  DTN_CHECK_LE(state(a).buffer.used(), state(a).buffer.capacity());
+  DTN_CHECK_LE(state(b).buffer.used(), state(b).buffer.capacity());
 }
 
 NclCachingScheme::CacheEntry NclCachingScheme::make_entry(

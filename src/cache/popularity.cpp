@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace dtn {
 
 void PopularityEstimator::record_request(Time when) {
@@ -29,7 +31,11 @@ void PopularityEstimator::merge(const PopularityEstimator& other) {
 
 double PopularityEstimator::request_rate() const {
   if (count_ < 2 || last_ <= first_) return 0.0;
-  return static_cast<double>(count_) / (last_ - first_);
+  const double rate = static_cast<double>(count_) / (last_ - first_);
+  // Eq. 6's Poisson intensity: a request count over a positive span.
+  DTN_CHECK_FINITE(rate);
+  DTN_CHECK_GE(rate, 0.0);
+  return rate;
 }
 
 double PopularityEstimator::popularity(Time now, Time expires) const {
@@ -37,7 +43,10 @@ double PopularityEstimator::popularity(Time now, Time expires) const {
   if (rate <= 0.0) return 0.0;
   const Time remaining = expires - now;
   if (remaining <= 0.0) return 0.0;
-  return 1.0 - std::exp(-rate * remaining);
+  const double p = 1.0 - std::exp(-rate * remaining);
+  // Eq. 6: P(another request before expiry) under the Poisson model.
+  DTN_CHECK_PROB(p);
+  return p;
 }
 
 }  // namespace dtn

@@ -1,11 +1,11 @@
 #include "cache/replacement.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 #include <unordered_set>
 
 #include "cache/knapsack.h"
+#include "common/check.h"
 
 namespace dtn {
 namespace {
@@ -19,7 +19,11 @@ struct NodeSelection {
 };
 
 double utility_of(const ReplacementItem& item, const NodeSelection& node) {
-  return item.popularity * node.weight;
+  const double u = item.popularity * node.weight;
+  // u_i = w_i * p_X(central): a product of two probabilities (Sec. V-D),
+  // also the Bernoulli parameter of Algorithm 1's probabilistic caching.
+  DTN_CHECK_PROB(u);
+  return u;
 }
 
 /// Primary selection for one node following Algorithm 1: in each round,
@@ -41,6 +45,9 @@ void primary_select(const std::vector<ReplacementItem>& pool,
   auto take = [&](std::size_t idx) {
     node.taken.push_back(idx);
     node.free -= pool[idx].size;
+    // Algorithm 1 only caches items that fit, so the running free-space
+    // budget can never go negative.
+    DTN_CHECK_GE(node.free, 0);
     available.erase(std::find(available.begin(), available.end(), idx));
   };
 
@@ -156,8 +163,15 @@ ReplacementPlan plan_replacement(const std::vector<ReplacementItem>& pool,
   record(sel_b);
   for (std::size_t idx : available) plan.dropped.push_back(pool[idx].id);
 
-  assert(plan.keep_at_a.size() + plan.keep_at_b.size() + plan.dropped.size() ==
-         pool.size());
+  // Eq. 7 / Algorithm 1 contract: the plan is a partition of the pooled
+  // items — every item is kept at A, kept at B, or explicitly dropped — and
+  // neither node's selection exceeds its capacity.
+  DTN_CHECK(plan.keep_at_a.size() + plan.keep_at_b.size() +
+                    plan.dropped.size() ==
+                pool.size(),
+            "replacement plan preserves the union of pooled items");
+  DTN_CHECK_GE(sel_a.free, 0);
+  DTN_CHECK_GE(sel_b.free, 0);
   return plan;
 }
 

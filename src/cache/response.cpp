@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace dtn {
 
 double SigmoidResponse::probability(Time remaining, Time t_q) const {
@@ -19,7 +21,11 @@ double SigmoidResponse::probability(Time remaining, Time t_q) const {
   // p_R(T_q) = p_max.
   const double k1 = 2.0 * p_min;
   const double k2 = std::log(p_max / (2.0 * p_min - p_max)) / t_q;
-  return k1 / (1.0 + std::exp(-k2 * t));
+  const double p = k1 / (1.0 + std::exp(-k2 * t));
+  // Eq. 4: the sigmoid anchors p_R(0) = p_min and p_R(T_q) = p_max, so the
+  // reply probability must stay inside [0, 1] for every valid parameter set.
+  DTN_CHECK_PROB(p);
+  return p;
 }
 
 }  // namespace dtn

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/parallel.h"
 #include "baselines/bundle_cache.h"
 #include "baselines/cache_data.h"
@@ -165,6 +166,12 @@ ExperimentResult run_experiment(const ContactTrace& trace, SchemeKind kind,
       });
 
   for (const RepOutcome& o : outcomes) {
+    // Fold only sane repetition outcomes: one NaN here would silently
+    // poison every aggregated statistic of the experiment.
+    DTN_CHECK_PROB(o.success_ratio);
+    DTN_CHECK_FINITE(o.delay_hours);
+    DTN_CHECK_FINITE(o.copies);
+    DTN_CHECK_FINITE(o.replacement);
     result.success_ratio.add(o.success_ratio);
     if (o.has_delay) result.delay_hours.add(o.delay_hours);
     result.copies_per_item.add(o.copies);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/parallel.h"
 #include "graph/hypoexp.h"
 
@@ -30,7 +31,9 @@ double AllPairsPaths::weight_at(NodeId from, NodeId to, Time budget) const {
   if (from == to) return 1.0;
   const auto& entry = table(to).entry(from);
   if (entry.weight <= 0.0) return 0.0;
-  return hypoexp_cdf(entry.rates, budget);
+  const double w = hypoexp_cdf(entry.rates, budget);
+  DTN_CHECK_PROB(w);
+  return w;
 }
 
 }  // namespace dtn

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace dtn {
 namespace {
 
@@ -39,6 +41,7 @@ double erlang_cdf(int shape, double rate, double t) {
     sum += term;
   }
   const double result = 1.0 - std::exp(-x) * sum;
+  DTN_CHECK_FINITE(result);
   return std::clamp(result, 0.0, 1.0);
 }
 
@@ -61,6 +64,10 @@ double hypoexp_cdf_closed_form(const std::vector<double>& rates, double t) {
     }
     result += coeff * (1.0 - std::exp(-rates[k] * t));
   }
+  // Partial-fraction coefficients alternate in sign and can be huge; the
+  // dispatch in hypoexp_cdf routes near-equal rates to uniformization, so a
+  // non-finite sum here means that guard failed (Eq. 2 weight corrupted).
+  DTN_CHECK_FINITE(result);
   return std::clamp(result, 0.0, 1.0);
 }
 
@@ -113,6 +120,7 @@ double hypoexp_cdf_uniformization(const std::vector<double>& rates, double t,
   }
   // The neglected tail has absorbed-probability <= 1, so `result` may be
   // short by at most `tail`. Add nothing; clamp for safety.
+  DTN_CHECK_FINITE(result);
   return std::clamp(result, 0.0, 1.0);
 }
 
@@ -120,24 +128,30 @@ double hypoexp_cdf(const std::vector<double>& rates, double t) {
   validate_rates(rates);
   if (rates.empty()) return t >= 0.0 ? 1.0 : 0.0;
   if (t <= 0.0) return 0.0;
+  double result = 0.0;
   if (rates.size() == 1) {
-    return std::clamp(1.0 - std::exp(-rates[0] * t), 0.0, 1.0);
+    result = std::clamp(1.0 - std::exp(-rates[0] * t), 0.0, 1.0);
+  } else {
+    const double first = rates.front();
+    if (std::all_of(rates.begin(), rates.end(),
+                    [&](double x) { return x == first; })) {
+      result = erlang_cdf(static_cast<int>(rates.size()), first, t);
+    } else if (has_near_equal_rates(rates)) {
+      result = hypoexp_cdf_uniformization(rates, t);
+    } else {
+      result = hypoexp_cdf_closed_form(rates, t);
+    }
   }
-  const double first = rates.front();
-  if (std::all_of(rates.begin(), rates.end(),
-                  [&](double x) { return x == first; })) {
-    return erlang_cdf(static_cast<int>(rates.size()), first, t);
-  }
-  if (has_near_equal_rates(rates)) {
-    return hypoexp_cdf_uniformization(rates, t);
-  }
-  return hypoexp_cdf_closed_form(rates, t);
+  // Eq. 2: an opportunistic path weight is P(sum of exp stages <= T).
+  DTN_CHECK_PROB(result);
+  return result;
 }
 
 double hypoexp_mean(const std::vector<double>& rates) {
   validate_rates(rates);
   double mean = 0.0;
   for (double r : rates) mean += 1.0 / r;
+  DTN_CHECK_FINITE(mean);
   return mean;
 }
 

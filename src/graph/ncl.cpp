@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/parallel.h"
 
 namespace dtn {
@@ -23,6 +24,8 @@ std::vector<double> ncl_metrics(const ContactGraph& graph, Time horizon,
       sum += table.weight(j);
     }
     metrics[root] = sum / static_cast<double>(n - 1);
+    // Eq. 3: the NCL metric is a mean of path weights, itself in [0, 1].
+    DTN_CHECK_PROB(metrics[root]);
   });
   return metrics;
 }

@@ -5,6 +5,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "graph/hypoexp.h"
 
 namespace dtn {
@@ -75,6 +76,13 @@ PathTable compute_opportunistic_paths(const ContactGraph& graph, NodeId root,
       std::vector<double> rates = eu.rates;
       rates.push_back(nb.rate);
       const double candidate = hypoexp_cdf(rates, horizon);
+      DTN_CHECK_PROB(candidate);
+      // Appending an exponential stage strictly decreases P(sum <= T); the
+      // greedy exchange argument behind max-probability Dijkstra needs it.
+      // Tolerance: prefix and extended path may dispatch to different CDF
+      // algorithms (closed form / Erlang / uniformization), which disagree
+      // by a few ulps when both weights saturate towards 1.
+      DTN_CHECK_LE(candidate, eu.weight + 1e-9);
       if (candidate > ev.weight) {
         ev.weight = candidate;
         ev.next_hop = u;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace dtn {
 
 CacheBuffer::CacheBuffer(Bytes capacity) : capacity_(capacity) {
@@ -13,6 +15,9 @@ bool CacheBuffer::insert(DataId id, Bytes size) {
   if (sizes_.contains(id) || size > free()) return false;
   sizes_.emplace(id, size);
   used_ += size;
+  // The class invariant ("used() <= capacity() at all times") is the
+  // paper's basic prerequisite of a limited caching buffer.
+  DTN_CHECK_LE(used_, capacity_);
   return true;
 }
 
@@ -21,6 +26,7 @@ bool CacheBuffer::erase(DataId id) {
   if (it == sizes_.end()) return false;
   used_ -= it->second;
   sizes_.erase(it);
+  DTN_CHECK_GE(used_, 0);
   return true;
 }
 

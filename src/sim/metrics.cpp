@@ -1,5 +1,7 @@
 #include "sim/metrics.h"
 
+#include "common/check.h"
+
 namespace dtn {
 
 void MetricsCollector::on_query_issued(const Query& query) {
@@ -13,6 +15,9 @@ void MetricsCollector::on_delivery(const Query& query, Time when) {
     ++duplicate_deliveries_;
     return;
   }
+  // Delivery before issuance would mean the simulator replayed events out
+  // of order; the delay statistics would silently go negative.
+  DTN_CHECK_GE(when, query.issued);
   delay_.add(when - query.issued);
   delays_.push_back(when - query.issued);
 }
@@ -22,13 +27,18 @@ double MetricsCollector::delay_percentile(double q) const {
 }
 
 void MetricsCollector::sample_copy_count(double copies_per_item) {
+  DTN_CHECK_FINITE(copies_per_item);
+  DTN_CHECK_GE(copies_per_item, 0.0);
   copies_.add(copies_per_item);
 }
 
 double MetricsCollector::success_ratio() const {
   if (queries_issued_ == 0) return 0.0;
-  return static_cast<double>(satisfied_.size()) /
-         static_cast<double>(queries_issued_);
+  const double ratio = static_cast<double>(satisfied_.size()) /
+                       static_cast<double>(queries_issued_);
+  // Each satisfied id corresponds to exactly one issued query.
+  DTN_CHECK_PROB(ratio);
+  return ratio;
 }
 
 double MetricsCollector::replacement_overhead() const {

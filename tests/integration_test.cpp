@@ -204,8 +204,8 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Values(SchemeKind::kNclCache, SchemeKind::kNoCache,
                     SchemeKind::kRandomCache, SchemeKind::kCacheData,
                     SchemeKind::kBundleCache),
-    [](const testing::TestParamInfo<SchemeKind>& info) {
-      std::string name = scheme_kind_name(info.param);
+    [](const testing::TestParamInfo<SchemeKind>& param_info) {
+      std::string name = scheme_kind_name(param_info.param);
       name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
       return name;
     });

@@ -133,8 +133,8 @@ INSTANTIATE_TEST_SUITE_P(
         Scenario{8, 500.0, 0.0, CacheStrategy::kUtilityExchange},
         Scenario{9, 20.0, 0.5, CacheStrategy::kUtilityExchange},
         Scenario{10, 100.0, 0.0, CacheStrategy::kGds}),
-    [](const testing::TestParamInfo<Scenario>& info) {
-      return "seed" + std::to_string(info.param.seed);
+    [](const testing::TestParamInfo<Scenario>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed);
     });
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "cache/replacement.h"
 #include "common/rng.h"
 
 namespace dtn {
@@ -122,6 +123,102 @@ TEST_P(KnapsackVsBruteForce, OptimalValue) {
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, KnapsackVsBruteForce,
                          testing::Range(0, 30));
+
+// --- Edge cases for the DTN_CHECK contract layer (Eq. 7 / Algorithm 1). ---
+// These instances hit the boundaries where a capacity or partition bug
+// would previously corrupt results silently; with the contracts compiled in
+// (the default), merely running them proves the invariants hold.
+
+TEST(KnapsackEdge, AllEqualUtilityTiesResolveToLowestIndices) {
+  // Four identical items, room for two: the DP updates only on strict
+  // improvement and reconstructs top-down, so the lowest indices win.
+  const std::vector<KnapsackItem> items{{1.0, 10}, {1.0, 10}, {1.0, 10},
+                                        {1.0, 10}};
+  const KnapsackResult first = solve_knapsack(items, 20, 10);
+  ASSERT_EQ(first.selected.size(), 2u);
+  EXPECT_EQ(first.selected[0], 0u);
+  EXPECT_EQ(first.selected[1], 1u);
+  // And the tie-break is stable: every re-solve returns the same selection.
+  for (int trial = 0; trial < 20; ++trial) {
+    const KnapsackResult again = solve_knapsack(items, 20, 10);
+    EXPECT_EQ(again.selected, first.selected);
+    EXPECT_EQ(again.total_size, first.total_size);
+  }
+}
+
+TEST(KnapsackEdge, ZeroCapacityPooledBufferDropsEverything) {
+  // Both nodes advertise zero free capacity: the plan must drop the whole
+  // pool while preserving the union (checked by the DTN_CHECK contracts).
+  std::vector<ReplacementItem> pool;
+  for (DataId id = 1; id <= 3; ++id) {
+    ReplacementItem item;
+    item.id = id;
+    item.size = 10;
+    item.popularity = 0.5;
+    item.at_a = (id % 2) == 0;
+    pool.push_back(item);
+  }
+  ReplacementConfig config;
+  config.probabilistic = false;
+  Rng rng(11);
+  const ReplacementPlan plan =
+      plan_replacement(pool, 0, 0, 0.9, 0.4, config, rng);
+  EXPECT_TRUE(plan.keep_at_a.empty());
+  EXPECT_TRUE(plan.keep_at_b.empty());
+  EXPECT_EQ(plan.dropped.size(), pool.size());
+}
+
+TEST(KnapsackEdge, ItemLargerThanPooledCapacityIsDropped) {
+  // One item larger than BOTH buffers combined: no selection can hold it.
+  ReplacementItem item;
+  item.id = 42;
+  item.size = 1000;
+  item.popularity = 0.99;
+  item.at_a = true;
+  ReplacementConfig config;
+  config.probabilistic = false;
+  Rng rng(13);
+  const ReplacementPlan plan =
+      plan_replacement({item}, 300, 400, 0.8, 0.6, config, rng);
+  EXPECT_TRUE(plan.keep_at_a.empty());
+  EXPECT_TRUE(plan.keep_at_b.empty());
+  ASSERT_EQ(plan.dropped.size(), 1u);
+  EXPECT_EQ(plan.dropped[0], 42);
+}
+
+TEST(KnapsackEdge, EqualUtilityReplacementIsDeterministic) {
+  // All-equal utilities at the exchange level: with a fixed seed the
+  // probabilistic Algorithm 1 selection must replay identically. (Thread
+  // counts cannot perturb this: plan_replacement runs on one thread and
+  // sweep-level determinism across thread pools is pinned by
+  // tests/determinism_test.cpp.)
+  std::vector<ReplacementItem> pool;
+  for (DataId id = 0; id < 6; ++id) {
+    ReplacementItem item;
+    item.id = id;
+    item.size = 25;
+    item.popularity = 0.5;
+    item.at_a = id < 3;
+    pool.push_back(item);
+  }
+  ReplacementConfig config;
+  config.probabilistic = true;
+  auto run_once = [&]() {
+    Rng rng(99);
+    return plan_replacement(pool, 60, 60, 0.7, 0.7, config, rng);
+  };
+  const ReplacementPlan first = run_once();
+  EXPECT_EQ(first.keep_at_a.size() + first.keep_at_b.size() +
+                first.dropped.size(),
+            pool.size());
+  for (int trial = 0; trial < 10; ++trial) {
+    const ReplacementPlan again = run_once();
+    EXPECT_EQ(again.keep_at_a, first.keep_at_a);
+    EXPECT_EQ(again.keep_at_b, first.keep_at_b);
+    EXPECT_EQ(again.dropped, first.dropped);
+    EXPECT_EQ(again.moved, first.moved);
+  }
+}
 
 }  // namespace
 }  // namespace dtn

@@ -1,0 +1,303 @@
+#!/usr/bin/env python3
+"""Determinism lint for the dtncache source tree.
+
+The repo's headline guarantee (PR 1, tests/determinism_test.cpp) is that a
+simulation's output is byte-identical for every thread count and across
+re-runs. That guarantee dies quietly the moment someone introduces ambient
+nondeterminism, so this lint greps src/ for the constructs that break it:
+
+  rule id            construct
+  -----------------  ----------------------------------------------------------
+  libc-rand          rand(), srand(), std::rand — the hidden-global libc RNG
+  random-device      std::random_device — hardware entropy, different each run
+  wall-clock-seed    time(nullptr) / time(NULL) / time(0)
+  chrono-now         std::chrono::*_clock::now() — wall/steady clock reads
+                     outside designated timing code (see allowlist)
+  unordered-fold     range-for over a std::unordered_map/std::unordered_set
+                     inside a function that writes CSV or folds statistics —
+                     iteration order is implementation-defined, so the folded
+                     floats / emitted rows depend on hash-table layout
+
+False-positive escape hatch: tools/lint_allowlist.txt. One entry per line,
+`<path-relative-to-repo>:<rule-id>[:<substring>]`; a hit is suppressed when
+its file and rule match an entry and, if the entry carries a substring, the
+offending line contains it. `#` starts a comment. Every allowlist entry
+should say *why* in a trailing comment — an entry is a reviewed exception,
+not a mute button.
+
+Usage:
+  tools/lint_determinism.py                 lint src/ and tools/*.cpp
+  tools/lint_determinism.py FILE [FILE...]  lint specific files
+  tools/lint_determinism.py --self-test DIR run against the lint fixtures in
+                                            DIR (tests/lint): the banned
+                                            fixture must trip every rule, the
+                                            clean fixture none, and the
+                                            fixture allowlist must suppress
+
+Exit status: 0 clean, 1 findings (or self-test failure), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_ALLOWLIST = REPO_ROOT / "tools" / "lint_allowlist.txt"
+
+# Direct banned tokens: (rule id, compiled regex, human explanation).
+TOKEN_RULES = [
+    (
+        "libc-rand",
+        re.compile(r"(?<![:\w])(?:std::)?s?rand\s*\("),
+        "libc rand()/srand() uses hidden global state; use dtn::Rng with an "
+        "explicit seed",
+    ),
+    (
+        "random-device",
+        re.compile(r"std::random_device"),
+        "std::random_device draws hardware entropy, different on every run; "
+        "derive seeds with dtn::derive_seed instead",
+    ),
+    (
+        "wall-clock-seed",
+        re.compile(r"(?<![:\w])time\s*\(\s*(?:nullptr|NULL|0)\s*\)"),
+        "time(nullptr) makes the run depend on the wall clock; thread the "
+        "seed through the config instead",
+    ),
+    (
+        "chrono-now",
+        re.compile(r"(?:std::chrono::\w+_clock|\b\w+_clock)::now\s*\("),
+        "clock reads are nondeterministic; keep them out of simulation and "
+        "statistics code (allowlist genuine timing/progress call sites)",
+    ),
+]
+
+# A line that starts a range-for over an unordered container. Catches both
+# direct members (`for (auto& kv : sizes_)`) and locals when the declared
+# type is visible in the same file (second pass below).
+RANGE_FOR_RE = re.compile(r"for\s*\(.*?:\s*(?P<expr>[^)]+)\)")
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*"
+    r"(?P<name>\w+)\s*[;={(]"
+)
+UNORDERED_INLINE_RE = re.compile(r"std::unordered_(?:map|set|multimap|multiset)\b")
+
+# A function body counts as "writes CSV or folds statistics" when it touches
+# any of these. Deliberately narrow: flagging every unordered iteration in
+# the tree would drown the signal (order-independent predicates like any_of
+# are fine); these markers are where iteration order reaches output bytes or
+# floating-point accumulation order.
+FOLD_MARKER_RE = re.compile(
+    r"csv|\bCSV\b|add_cell|add_number|add_integer|add_row|RunningStats|"
+    r"\.merge\(|percentile\(|\bgini\(|sample_copy_count|count_bytes"
+)
+
+
+def strip_comments(line: str) -> str:
+    """Removes // comments and a best-effort pass at string literals."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    return line.split("//", 1)[0]
+
+
+def load_allowlist(path: Path):
+    entries = []
+    if not path.exists():
+        return entries
+    for raw in path.read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split(":", 2)
+        if len(parts) < 2:
+            print(f"lint_determinism: bad allowlist entry: {raw!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+        entries.append(
+            {
+                "path": parts[0].strip(),
+                "rule": parts[1].strip(),
+                "substring": parts[2].strip() if len(parts) == 3 else None,
+            }
+        )
+    return entries
+
+
+def allowed(entries, rel_path: str, rule: str, line_text: str) -> bool:
+    for e in entries:
+        if e["path"] != rel_path or e["rule"] != rule:
+            continue
+        if e["substring"] is None or e["substring"] in line_text:
+            return True
+    return False
+
+
+NAMESPACE_OPEN_RE = re.compile(r"^\s*(?:inline\s+)?namespace\b[^{}]*\{\s*$")
+
+
+def function_chunks(lines):
+    """Yields (start_line, end_line, body_text) for brace-balanced chunks.
+
+    A heuristic C++ "function" is a top-level `{ ... }` region, where
+    namespace braces are transparent (otherwise the conventional
+    `namespace dtn { ... }` wrapper would collapse every file into one
+    chunk). We do not parse declarators: for lint purposes a class body
+    chunk containing a fold marker is just as suspicious as a free function.
+    """
+    depth = 0
+    start = None
+    buf = []
+    for i, line in enumerate(lines, start=1):
+        code = strip_comments(line)
+        if start is None and NAMESPACE_OPEN_RE.match(code):
+            continue  # transparent: do not count the namespace brace
+        opens = code.count("{")
+        closes = code.count("}")
+        if depth == 0 and opens > 0:
+            start = i
+            buf = []
+        if start is not None:
+            buf.append(line)
+        depth += opens - closes
+        if start is not None and depth <= 0:
+            yield start, i, "\n".join(buf)
+            start = None
+        depth = max(depth, 0)  # unmatched namespace closers clamp back
+
+
+def lint_file(path: Path, allowlist, findings):
+    rel = path.resolve().relative_to(REPO_ROOT).as_posix()
+    try:
+        text = path.read_text()
+    except (OSError, UnicodeDecodeError) as err:
+        print(f"lint_determinism: cannot read {rel}: {err}", file=sys.stderr)
+        sys.exit(2)
+    lines = text.splitlines()
+
+    for lineno, raw in enumerate(lines, start=1):
+        code = strip_comments(raw)
+        for rule, pattern, why in TOKEN_RULES:
+            if pattern.search(code) and not allowed(allowlist, rel, rule, raw):
+                findings.append((rel, lineno, rule, raw.strip(), why))
+
+    # unordered-fold: names of unordered containers declared in this file,
+    # plus literal inline unordered types in the loop expression.
+    unordered_names = set(UNORDERED_DECL_RE.findall(text))
+    for start, _end, body in function_chunks(lines):
+        if not FOLD_MARKER_RE.search(body):
+            continue
+        for offset, raw in enumerate(body.splitlines()):
+            code = strip_comments(raw)
+            m = RANGE_FOR_RE.search(code)
+            if not m:
+                continue
+            expr = m.group("expr").strip()
+            base = re.split(r"[.\->(]", expr, 1)[0].strip().lstrip("*&")
+            if base not in unordered_names and not UNORDERED_INLINE_RE.search(expr):
+                continue
+            lineno = start + offset
+            rule = "unordered-fold"
+            if allowed(allowlist, rel, rule, raw):
+                continue
+            findings.append(
+                (
+                    rel,
+                    lineno,
+                    rule,
+                    raw.strip(),
+                    "iteration order of unordered containers is "
+                    "implementation-defined; sort the keys (or iterate a "
+                    "deterministic index) before folding stats or writing CSV",
+                )
+            )
+
+
+def default_targets():
+    targets = sorted((REPO_ROOT / "src").rglob("*.cpp"))
+    targets += sorted((REPO_ROOT / "src").rglob("*.h"))
+    targets += sorted((REPO_ROOT / "tools").glob("*.cpp"))
+    return targets
+
+
+def report(findings) -> int:
+    for rel, lineno, rule, line, why in findings:
+        print(f"{rel}:{lineno}: [{rule}] {line}")
+        print(f"    {why}")
+    if findings:
+        print(
+            f"lint_determinism: {len(findings)} finding(s); fix them or add "
+            f"a reviewed entry to {DEFAULT_ALLOWLIST.relative_to(REPO_ROOT)}"
+        )
+        return 1
+    print("lint_determinism: OK")
+    return 0
+
+
+def self_test(fixture_dir: Path) -> int:
+    banned = fixture_dir / "fixture_banned.cpp"
+    clean = fixture_dir / "fixture_clean.cpp"
+    allowlisted = fixture_dir / "fixture_allowlisted.cpp"
+    fixture_allowlist = fixture_dir / "fixture_allowlist.txt"
+    for f in (banned, clean, allowlisted, fixture_allowlist):
+        if not f.exists():
+            print(f"self-test: missing fixture {f}", file=sys.stderr)
+            return 1
+
+    failures = []
+
+    findings = []
+    lint_file(banned, [], findings)
+    tripped = {rule for _, _, rule, _, _ in findings}
+    expected = {rule for rule, _, _ in TOKEN_RULES} | {"unordered-fold"}
+    for rule in sorted(expected - tripped):
+        failures.append(f"banned fixture did not trip rule {rule!r}")
+
+    findings = []
+    lint_file(clean, [], findings)
+    for rel, lineno, rule, _, _ in findings:
+        failures.append(f"clean fixture tripped {rule!r} at {rel}:{lineno}")
+
+    # The allowlisted fixture contains one banned hit per entry in the
+    # fixture allowlist: with it loaded, everything must be suppressed;
+    # without it, something must fire (otherwise the test proves nothing).
+    entries = load_allowlist(fixture_allowlist)
+    findings = []
+    lint_file(allowlisted, entries, findings)
+    for rel, lineno, rule, _, _ in findings:
+        failures.append(
+            f"allowlist failed to suppress {rule!r} at {rel}:{lineno}"
+        )
+    findings = []
+    lint_file(allowlisted, [], findings)
+    if not findings:
+        failures.append("allowlisted fixture contains no hits at all")
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}")
+        return 1
+    print("lint_determinism self-test: OK")
+    return 0
+
+
+def main(argv) -> int:
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        if len(argv) != 3:
+            print("usage: lint_determinism.py --self-test DIR", file=sys.stderr)
+            return 2
+        return self_test(Path(argv[2]))
+
+    targets = [Path(a) for a in argv[1:]] or default_targets()
+    allowlist = load_allowlist(DEFAULT_ALLOWLIST)
+    findings = []
+    for target in targets:
+        if not target.exists():
+            print(f"lint_determinism: no such file: {target}", file=sys.stderr)
+            return 2
+        lint_file(target, allowlist, findings)
+    return report(findings)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,36 +1,147 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a ThreadSanitizer pass over the parallel layer.
+# Staged verification pipeline. Every stage is recorded; the script prints a
+# per-stage summary table at the end and exits non-zero if ANY stage failed.
 #
-#   tools/verify.sh            # full: release build + all tests + TSan pass
-#   tools/verify.sh --no-tsan  # tier-1 only (e.g. toolchain without libtsan)
+#   tools/verify.sh            full: tier-1 + lint + clang-tidy + TSan/ASan/UBSan
+#   tools/verify.sh --fast     skip the sanitizer rebuilds (local iteration)
+#   tools/verify.sh --no-tsan  legacy flag: skip only the TSan stage
 #
-# The TSan stage rebuilds into build-tsan/ with DTN_SANITIZE=thread and runs
-# the tests that hammer the thread pool (parallel_test, determinism_test,
-# sweep_test): proving "parallel == serial bit-for-bit" is only meaningful
-# if the parallel path is also race-free.
-set -euo pipefail
+# Stages (see "Verification matrix" in README.md for what each one catches):
+#   tier-1      release build with -Werror + the full ctest suite
+#   lint        tools/lint_determinism.py over src/ + its fixture self-test
+#   clang-tidy  .clang-tidy over every TU (skipped when clang-tidy is absent)
+#   tsan        -fsanitize=thread over the parallel-layer tests
+#   asan        -fsanitize=address over the full ctest suite
+#   ubsan       -fsanitize=undefined over the full ctest suite
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
+fast=0
 run_tsan=1
-[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) fast=1 ;;
+    --no-tsan) run_tsan=0 ;;
+    *) echo "usage: tools/verify.sh [--fast] [--no-tsan]" >&2; exit 2 ;;
+  esac
+done
 
-echo "== tier-1: release build + full test suite =="
-cmake -B build -S . >/dev/null
-cmake --build build -j"$(nproc)" >/dev/null
-ctest --test-dir build --output-on-failure -j"$(nproc)"
+jobs="$(nproc)"
+stage_names=()
+stage_results=()
+overall=0
 
-if [[ "$run_tsan" == 1 ]]; then
-  if echo 'int main(){return 0;}' | c++ -fsanitize=thread -x c++ - -o /tmp/dtn_tsan_probe 2>/dev/null; then
-    rm -f /tmp/dtn_tsan_probe
-    echo "== TSan: parallel layer under -fsanitize=thread =="
-    cmake -B build-tsan -S . -DDTN_SANITIZE=thread >/dev/null
-    cmake --build build-tsan -j"$(nproc)" \
-      --target parallel_test determinism_test sweep_test >/dev/null
-    ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-      -R 'ResolveThreads|ParallelFor|ParallelMap|ParallelReduce|DeriveSeed|ThreadPool|Determinism|Sweep'
+record() {  # record <name> <result: OK|FAIL|SKIP (reason)>
+  stage_names+=("$1")
+  stage_results+=("$2")
+  [[ "$2" == FAIL* ]] && overall=1
+}
+
+run_stage() {  # run_stage <name> <function>
+  echo
+  echo "== stage: $1 =="
+  if "$2"; then
+    record "$1" "OK"
   else
-    echo "!! skipping TSan pass: toolchain cannot link -fsanitize=thread" >&2
+    record "$1" "FAIL"
+  fi
+}
+
+probe_sanitizer() {  # probe_sanitizer <flag> -> 0 if toolchain can link it
+  echo 'int main(){return 0;}' \
+    | c++ "-fsanitize=$1" -x c++ - -o "/tmp/dtn_probe_$1" 2>/dev/null \
+    && rm -f "/tmp/dtn_probe_$1"
+}
+
+sanitizer_stage() {  # sanitizer_stage <mode> <build-dir> [ctest -R regex]
+  local mode="$1" dir="$2" filter="${3:-}"
+  cmake -B "$dir" -S . -DDTN_SANITIZE="$mode" >/dev/null || return 1
+  cmake --build "$dir" -j"$jobs" --target dtn_all_tests >/dev/null || return 1
+  if [[ -n "$filter" ]]; then
+    ctest --test-dir "$dir" --output-on-failure -j"$jobs" -R "$filter"
+  else
+    ctest --test-dir "$dir" --output-on-failure -j"$jobs"
+  fi
+}
+
+stage_tier1() {
+  cmake -B build -S . -DDTN_WERROR=ON >/dev/null || return 1
+  cmake --build build -j"$jobs" >/dev/null || return 1
+  ctest --test-dir build --output-on-failure -j"$jobs"
+}
+
+stage_lint() {
+  python3 tools/lint_determinism.py || return 1
+  python3 tools/lint_determinism.py --self-test tests/lint
+}
+
+stage_clang_tidy() {
+  # A separate build tree: CMAKE_CXX_CLANG_TIDY changes every compile
+  # command, so sharing build/ would force a full rebuild both ways.
+  cmake -B build-tidy -S . -DDTN_CLANG_TIDY=ON >/dev/null || return 1
+  # --warnings-as-errors=* in the cmake wiring turns any unsuppressed
+  # finding into a compile error, so a green build means zero findings.
+  cmake --build build-tidy -j"$jobs" >/dev/null
+}
+
+stage_tsan() {
+  # The tests that hammer the thread pool: proving "parallel == serial
+  # bit-for-bit" is only meaningful if the parallel path is also race-free.
+  sanitizer_stage thread build-tsan \
+    'ResolveThreads|ParallelFor|ParallelMap|ParallelReduce|DeriveSeed|ThreadPool|Determinism|Sweep'
+}
+
+stage_asan() { sanitizer_stage address build-asan; }
+stage_ubsan() { sanitizer_stage undefined build-ubsan; }
+
+run_stage "tier-1" stage_tier1
+
+if command -v python3 >/dev/null 2>&1; then
+  run_stage "lint" stage_lint
+else
+  record "lint" "SKIP (no python3)"
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  run_stage "clang-tidy" stage_clang_tidy
+else
+  record "clang-tidy" "SKIP (no clang-tidy on PATH)"
+fi
+
+if [[ "$fast" == 1 ]]; then
+  record "tsan" "SKIP (--fast)"
+  record "asan" "SKIP (--fast)"
+  record "ubsan" "SKIP (--fast)"
+else
+  if [[ "$run_tsan" == 0 ]]; then
+    record "tsan" "SKIP (--no-tsan)"
+  elif probe_sanitizer thread; then
+    run_stage "tsan" stage_tsan
+  else
+    record "tsan" "SKIP (toolchain cannot link -fsanitize=thread)"
+  fi
+  if probe_sanitizer address; then
+    run_stage "asan" stage_asan
+  else
+    record "asan" "SKIP (toolchain cannot link -fsanitize=address)"
+  fi
+  if probe_sanitizer undefined; then
+    run_stage "ubsan" stage_ubsan
+  else
+    record "ubsan" "SKIP (toolchain cannot link -fsanitize=undefined)"
   fi
 fi
 
+echo
+echo "== verify summary =="
+printf '%-12s %s\n' "stage" "result"
+printf '%-12s %s\n' "-----" "------"
+for i in "${!stage_names[@]}"; do
+  printf '%-12s %s\n' "${stage_names[$i]}" "${stage_results[$i]}"
+done
+
+if [[ "$overall" != 0 ]]; then
+  echo "verify: FAILED"
+  exit 1
+fi
 echo "verify: OK"
