@@ -7,6 +7,7 @@
 // (wasted) data deliveries and bytes transferred.
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/table.h"
 #include "experiment/experiment.h"
@@ -42,27 +43,33 @@ int main(int argc, char** argv) {
       {"path-weight", ResponseMode::kPathWeight, {}},
   };
 
+  bench::JsonReport report("bench_ablation_response", args);
   TextTable table({"variant", "success ratio", "delay (h)", "GB transferred",
                    "duplicate deliveries"});
-  for (const Variant& variant : variants) {
-    ExperimentConfig config;
-    config.avg_lifetime = weeks(1);
-    config.avg_data_size = megabits(100);
-    config.ncl_count = 8;
-    config.response_mode = variant.mode;
-    config.sigmoid = variant.sigmoid;
-    config.repetitions = args.reps;
-    config.sim.maintenance_interval = days(1);
+  report.stage(
+      "ablation_response_sweep",
+      [&] {
+        for (const Variant& variant : variants) {
+          ExperimentConfig config;
+          config.avg_lifetime = weeks(1);
+          config.avg_data_size = megabits(100);
+          config.ncl_count = 8;
+          config.response_mode = variant.mode;
+          config.sigmoid = variant.sigmoid;
+          config.repetitions = args.reps;
+          config.sim.maintenance_interval = days(1);
 
-    const ExperimentResult r =
-        run_experiment(trace, SchemeKind::kNclCache, config);
-    table.begin_row();
-    table.add_cell(variant.label);
-    table.add_number(r.success_ratio.mean(), 3);
-    table.add_number(r.delay_hours.mean(), 1);
-    table.add_number(r.gigabytes_transferred.mean(), 2);
-    table.add_number(r.duplicate_deliveries.mean(), 0);
-  }
+          const ExperimentResult r =
+              run_experiment(trace, SchemeKind::kNclCache, config);
+          table.begin_row();
+          table.add_cell(variant.label);
+          table.add_number(r.success_ratio.mean(), 3);
+          table.add_number(r.delay_hours.mean(), 1);
+          table.add_number(r.gigabytes_transferred.mean(), 2);
+          table.add_number(r.duplicate_deliveries.mean(), 0);
+        }
+      },
+      "contacts_processed", 1);
   std::printf("%s\n", table.to_string().c_str());
   std::printf(
       "Reading: 'always' marks the accessibility ceiling; the sigmoid\n"
@@ -70,5 +77,5 @@ int main(int argc, char** argv) {
       "variant recovers most of the ceiling because it only suppresses\n"
       "responses that were unlikely to arrive in time — the tradeoff\n"
       "Sec. V-C aims for.\n");
-  return 0;
+  return report.write_if_requested() ? 0 : 1;
 }

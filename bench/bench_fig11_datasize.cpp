@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/table.h"
 #include "experiment/experiment.h"
@@ -16,6 +17,7 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Figure 11: data access performance vs average data size s_avg "
       "(MIT Reality, K=8, T_L=1 week)");
+  bench::JsonReport report("bench_fig11_datasize", args);
 
   const double trace_days = args.days > 0 ? args.days : (args.fast ? 30 : 60);
   const ContactTrace trace =
@@ -32,28 +34,34 @@ int main(int argc, char** argv) {
   for (SchemeKind k : kinds) headers.push_back(scheme_kind_name(k));
   TextTable ratio(headers), delay(headers), copies(headers);
 
-  for (double size_mb : sizes_mb) {
-    ExperimentConfig config;
-    config.avg_lifetime = weeks(1);
-    config.avg_data_size = megabits(size_mb);
-    config.ncl_count = 8;
-    config.repetitions = args.reps;
-    config.sim.maintenance_interval = days(1);
+  // One stage for the whole sweep: repetitions happen inside run_experiment.
+  report.stage(
+      "fig11_datasize_sweep",
+      [&] {
+        for (double size_mb : sizes_mb) {
+          ExperimentConfig config;
+          config.avg_lifetime = weeks(1);
+          config.avg_data_size = megabits(size_mb);
+          config.ncl_count = 8;
+          config.repetitions = args.reps;
+          config.sim.maintenance_interval = days(1);
 
-    const std::string label = format_double(size_mb, 0) + "Mb";
-    ratio.begin_row();
-    delay.begin_row();
-    copies.begin_row();
-    ratio.add_cell(label);
-    delay.add_cell(label);
-    copies.add_cell(label);
-    for (SchemeKind kind : kinds) {
-      const ExperimentResult r = run_experiment(trace, kind, config);
-      ratio.add_number(r.success_ratio.mean(), 3);
-      delay.add_number(r.delay_hours.mean(), 1);
-      copies.add_number(r.copies_per_item.mean(), 2);
-    }
-  }
+          const std::string label = format_double(size_mb, 0) + "Mb";
+          ratio.begin_row();
+          delay.begin_row();
+          copies.begin_row();
+          ratio.add_cell(label);
+          delay.add_cell(label);
+          copies.add_cell(label);
+          for (SchemeKind kind : kinds) {
+            const ExperimentResult r = run_experiment(trace, kind, config);
+            ratio.add_number(r.success_ratio.mean(), 3);
+            delay.add_number(r.delay_hours.mean(), 1);
+            copies.add_number(r.copies_per_item.mean(), 2);
+          }
+        }
+      },
+      "contacts_processed", 1);
 
   std::printf("(a) successful ratio\n%s\n", ratio.to_string().c_str());
   std::printf("(b) data access delay (hours)\n%s\n", delay.to_string().c_str());
@@ -64,5 +72,5 @@ int main(int argc, char** argv) {
       "copies, so every scheme degrades; the NCL scheme degrades the most\n"
       "gently thanks to utility-based replacement, so its advantage WIDENS\n"
       "as the buffer constraint tightens.\n");
-  return 0;
+  return report.write_if_requested() ? 0 : 1;
 }

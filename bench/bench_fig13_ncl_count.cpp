@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/table.h"
 #include "experiment/experiment.h"
@@ -15,6 +16,7 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::print_header(
       "Figure 13: impact of the number of NCLs (Infocom06, T_L=3h)");
+  bench::JsonReport report("bench_fig13_ncl_count", args);
 
   const double trace_days = args.days > 0 ? args.days : (args.fast ? 2 : 4);
   const ContactTrace trace =
@@ -29,28 +31,33 @@ int main(int argc, char** argv) {
   for (double s : sizes_mb) headers.push_back(format_double(s, 0) + "Mb");
   TextTable ratio(headers), delay(headers), copies(headers);
 
-  for (int k : ks) {
-    ratio.begin_row();
-    delay.begin_row();
-    copies.begin_row();
-    ratio.add_integer(k);
-    delay.add_integer(k);
-    copies.add_integer(k);
-    for (double size_mb : sizes_mb) {
-      ExperimentConfig config;
-      config.avg_lifetime = hours(3);
-      config.avg_data_size = megabits(size_mb);
-      config.ncl_count = k;
-      config.repetitions = args.reps;
-      config.sim.maintenance_interval = hours(2);
-      config.sim.threads = args.threads;
-      const ExperimentResult r =
-          run_experiment(trace, SchemeKind::kNclCache, config);
-      ratio.add_number(r.success_ratio.mean(), 3);
-      delay.add_number(r.delay_hours.mean(), 2);
-      copies.add_number(r.copies_per_item.mean(), 2);
-    }
-  }
+  report.stage(
+      "fig13_ncl_count_sweep",
+      [&] {
+        for (int k : ks) {
+          ratio.begin_row();
+          delay.begin_row();
+          copies.begin_row();
+          ratio.add_integer(k);
+          delay.add_integer(k);
+          copies.add_integer(k);
+          for (double size_mb : sizes_mb) {
+            ExperimentConfig config;
+            config.avg_lifetime = hours(3);
+            config.avg_data_size = megabits(size_mb);
+            config.ncl_count = k;
+            config.repetitions = args.reps;
+            config.sim.maintenance_interval = hours(2);
+            config.sim.threads = args.threads;
+            const ExperimentResult r =
+                run_experiment(trace, SchemeKind::kNclCache, config);
+            ratio.add_number(r.success_ratio.mean(), 3);
+            delay.add_number(r.delay_hours.mean(), 2);
+            copies.add_number(r.copies_per_item.mean(), 2);
+          }
+        }
+      },
+      "contacts_processed", 1);
 
   std::printf("(a) successful ratio\n%s\n", ratio.to_string().c_str());
   std::printf("(b) data access delay (hours)\n%s\n", delay.to_string().c_str());
@@ -61,5 +68,5 @@ int main(int argc, char** argv) {
       "beyond a handful of NCLs the newly added central nodes are no longer\n"
       "well connected and the curves flatten (K~5 was the paper's best for\n"
       "Infocom06); caching overhead grows with K while buffers allow.\n");
-  return 0;
+  return report.write_if_requested() ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 // with p_min = 0.45, p_max = 0.8 and T_q = 10 hours.
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "cache/response.h"
 #include "common/table.h"
@@ -10,23 +11,27 @@ using namespace dtn;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  (void)args;
   bench::print_header(
       "Figure 7: probabilistic response sigmoid (p_min=0.45, p_max=0.8, "
       "T_q=10h)");
+  bench::JsonReport report("bench_fig7_sigmoid", args);
 
   const SigmoidResponse sigmoid{0.45, 0.8};
   const Time t_q = hours(10);
 
-  TextTable table({"remaining time (h)", "p_R(t)"});
-  for (double h = 0.0; h <= 10.0 + 1e-9; h += 1.0) {
-    table.begin_row();
-    table.add_number(h, 1);
-    table.add_number(sigmoid.probability(hours(h), t_q), 4);
-  }
-  std::printf("%s\n", table.to_string().c_str());
+  std::string rendered;
+  report.stage("fig7_sigmoid_curve", [&] {
+    TextTable table({"remaining time (h)", "p_R(t)"});
+    for (double h = 0.0; h <= 10.0 + 1e-9; h += 1.0) {
+      table.begin_row();
+      table.add_number(h, 1);
+      table.add_number(sigmoid.probability(hours(h), t_q), 4);
+    }
+    rendered = table.to_string();
+  });
+  std::printf("%s\n", rendered.c_str());
   std::printf(
       "Anchors: p_R(0) = p_min = 0.45 and p_R(T_q) = p_max = 0.80; the curve\n"
       "rises monotonically with the remaining time, matching Fig. 7.\n");
-  return 0;
+  return report.write_if_requested() ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 //  (b) the Zipf query probabilities P_j for different exponents s.
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/table.h"
 #include "workload/workload.h"
@@ -14,58 +15,69 @@ using namespace dtn;
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::print_header("Figure 9(a): data volume vs average lifetime T_L");
+  bench::JsonReport report("bench_fig9_setup", args);
 
   const NodeId nodes = 97;  // MIT Reality size
   const double window_days = args.days > 0 ? args.days : 60;
 
-  TextTable a({"T_L", "items generated", "avg alive items", "alive bytes(MB)"});
-  for (double tl_hours : {12.0, 24.0, 72.0, 168.0, 336.0}) {
-    WorkloadConfig wc;
-    wc.start = 0.0;
-    wc.end = days(window_days);
-    wc.avg_lifetime = hours(tl_hours);
-    wc.seed = 11;
-    const Workload w = generate_workload(wc, nodes);
+  std::string table_a;
+  report.stage("fig9a_data_volume", [&] {
+    TextTable a(
+        {"T_L", "items generated", "avg alive items", "alive bytes(MB)"});
+    for (double tl_hours : {12.0, 24.0, 72.0, 168.0, 336.0}) {
+      WorkloadConfig wc;
+      wc.start = 0.0;
+      wc.end = days(window_days);
+      wc.avg_lifetime = hours(tl_hours);
+      wc.seed = 11;
+      const Workload w = generate_workload(wc, nodes);
 
-    // Average alive population over the window, sampled every T_L/4.
-    double alive_sum = 0.0;
-    int samples = 0;
-    for (Time t = wc.avg_lifetime; t < wc.end; t += wc.avg_lifetime / 4.0) {
-      alive_sum += static_cast<double>(w.registry().alive_count(t));
-      ++samples;
+      // Average alive population over the window, sampled every T_L/4.
+      double alive_sum = 0.0;
+      int samples = 0;
+      for (Time t = wc.avg_lifetime; t < wc.end; t += wc.avg_lifetime / 4.0) {
+        alive_sum += static_cast<double>(w.registry().alive_count(t));
+        ++samples;
+      }
+      double bytes = 0.0;
+      for (std::size_t i = 0; i < w.data_count(); ++i) {
+        bytes +=
+            static_cast<double>(w.registry().get(static_cast<DataId>(i)).size);
+      }
+      a.begin_row();
+      a.add_cell(format_duration(wc.avg_lifetime));
+      a.add_integer(static_cast<long long>(w.data_count()));
+      a.add_number(samples ? alive_sum / samples : 0.0, 1);
+      a.add_number(bytes / 1e6 /
+                       static_cast<double>(w.data_count() ? w.data_count() : 1) *
+                       (samples ? alive_sum / samples : 0.0),
+                   0);
     }
-    double bytes = 0.0;
-    for (std::size_t i = 0; i < w.data_count(); ++i) {
-      bytes += static_cast<double>(w.registry().get(static_cast<DataId>(i)).size);
-    }
-    a.begin_row();
-    a.add_cell(format_duration(wc.avg_lifetime));
-    a.add_integer(static_cast<long long>(w.data_count()));
-    a.add_number(samples ? alive_sum / samples : 0.0, 1);
-    a.add_number(bytes / 1e6 /
-                     static_cast<double>(w.data_count() ? w.data_count() : 1) *
-                     (samples ? alive_sum / samples : 0.0),
-                 0);
-  }
-  std::printf("%s\n", a.to_string().c_str());
+    table_a = a.to_string();
+  });
+  std::printf("%s\n", table_a.c_str());
 
   bench::print_header("Figure 9(b): Zipf query probabilities P_j");
-  TextTable b({"rank j", "s=0.5", "s=1.0", "s=1.5", "s=2.0"});
-  const std::size_t m = 100;
-  const ZipfDistribution z05(m, 0.5), z10(m, 1.0), z15(m, 1.5), z20(m, 2.0);
-  for (std::size_t j : {1u, 2u, 3u, 5u, 10u, 20u, 50u, 100u}) {
-    b.begin_row();
-    b.add_integer(static_cast<long long>(j));
-    b.add_number(z05.probability(j), 4);
-    b.add_number(z10.probability(j), 4);
-    b.add_number(z15.probability(j), 4);
-    b.add_number(z20.probability(j), 4);
-  }
-  std::printf("%s\n", b.to_string().c_str());
+  std::string table_b;
+  report.stage("fig9b_zipf_pmf", [&] {
+    TextTable b({"rank j", "s=0.5", "s=1.0", "s=1.5", "s=2.0"});
+    const std::size_t m = 100;
+    const ZipfDistribution z05(m, 0.5), z10(m, 1.0), z15(m, 1.5), z20(m, 2.0);
+    for (std::size_t j : {1u, 2u, 3u, 5u, 10u, 20u, 50u, 100u}) {
+      b.begin_row();
+      b.add_integer(static_cast<long long>(j));
+      b.add_number(z05.probability(j), 4);
+      b.add_number(z10.probability(j), 4);
+      b.add_number(z15.probability(j), 4);
+      b.add_number(z20.probability(j), 4);
+    }
+    table_b = b.to_string();
+  });
+  std::printf("%s\n", table_b.c_str());
   std::printf(
       "Reading: (a) the generation rule (decision every T_L, p_G=0.2) keeps\n"
       "the alive population roughly constant while longer lifetimes mean\n"
       "fewer, longer-lived, larger-in-aggregate items; (b) larger s\n"
       "concentrates queries on the top-ranked data, matching Fig. 9(b).\n");
-  return 0;
+  return report.write_if_requested() ? 0 : 1;
 }

@@ -1,0 +1,180 @@
+#include "bench/bench_json.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/parallel.h"
+#include "common/stats.h"
+
+#ifndef DTN_GIT_SHA
+#define DTN_GIT_SHA "unknown"
+#endif
+
+namespace dtn::bench {
+namespace {
+
+std::string current_git_sha() {
+  // CI stamps the exact commit via the environment; the build-time sha is
+  // the fallback for local runs (stale only if you rebuild without
+  // re-running cmake after a commit).
+  if (const char* sha = std::getenv("GITHUB_SHA")) return sha;
+  if (const char* sha = std::getenv("DTN_GIT_SHA")) return sha;
+  return DTN_GIT_SHA;
+}
+
+void append_counters(std::ostringstream& out,
+                     const std::vector<instrument::StageStats::CounterRow>& rows,
+                     const std::string& indent) {
+  bool first = true;
+  for (const auto& row : rows) {
+    if (row.value == 0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\n" << indent << "\"" << json_escape(row.name)
+        << "\": " << row.value;
+  }
+  if (!first) out << "\n" << indent.substr(0, indent.size() - 2);
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonReport::JsonReport(std::string bench_name, const BenchArgs& args)
+    : name_(std::move(bench_name)), args_(args) {}
+
+void JsonReport::stage(const std::string& name,
+                       const std::function<void()>& fn,
+                       const std::string& unit_counter, int reps) {
+  if (reps <= 0) reps = args_.reps > 0 ? args_.reps : 1;
+
+  const instrument::StageStats before = instrument::snapshot();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    samples.push_back(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+  const instrument::StageStats delta =
+      instrument::snapshot().delta_since(before);
+
+  StageRecord record;
+  record.name = name;
+  record.reps = reps;
+  record.median_ns = static_cast<std::uint64_t>(percentile(samples, 0.5));
+  record.p10_ns = static_cast<std::uint64_t>(percentile(samples, 0.1));
+  record.p90_ns = static_cast<std::uint64_t>(percentile(samples, 0.9));
+  record.unit_counter = unit_counter;
+  record.work_units_per_rep = 1.0;
+  if (!unit_counter.empty()) {
+    const std::uint64_t units = delta.counter(unit_counter);
+    if (units > 0) {
+      record.work_units_per_rep =
+          static_cast<double>(units) / static_cast<double>(reps);
+    }
+  }
+  for (const auto& row : delta.counters) {
+    if (row.value != 0) record.counters.push_back(row);
+  }
+  stages_.push_back(std::move(record));
+}
+
+std::string JsonReport::to_json() const {
+  const instrument::StageStats totals = instrument::snapshot();
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"bench\": \"" << json_escape(name_) << "\",\n";
+  out << "  \"git_sha\": \"" << json_escape(current_git_sha()) << "\",\n";
+  out << "  \"instrument_enabled\": "
+      << (instrument::enabled() ? "true" : "false") << ",\n";
+  out << "  \"threads\": " << resolve_threads(args_.threads) << ",\n";
+  out << "  \"repetitions\": " << (args_.reps > 0 ? args_.reps : 1) << ",\n";
+  out << "  \"config\": {\"reps\": " << args_.reps << ", \"days\": "
+      << args_.days << ", \"threads\": " << args_.threads << ", \"fast\": "
+      << (args_.fast ? "true" : "false") << "},\n";
+
+  out << "  \"stages\": [";
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const StageRecord& s = stages_[i];
+    if (i > 0) out << ",";
+    out << "\n    {\"name\": \"" << json_escape(s.name) << "\", \"reps\": "
+        << s.reps << ", \"median_ns\": " << s.median_ns << ", \"p10_ns\": "
+        << s.p10_ns << ", \"p90_ns\": " << s.p90_ns << ",\n";
+    out << "     \"unit_counter\": \"" << json_escape(s.unit_counter)
+        << "\", \"work_units_per_rep\": " << s.work_units_per_rep << ",\n";
+    out << "     \"counters\": {";
+    append_counters(out, s.counters, "       ");
+    out << "}}";
+  }
+  if (!stages_.empty()) out << "\n  ";
+  out << "],\n";
+
+  out << "  \"counters\": {";
+  append_counters(out, totals.counters, "    ");
+  out << "},\n";
+
+  out << "  \"timers\": {";
+  bool first = true;
+  for (const auto& row : totals.timers) {
+    if (row.calls == 0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\n    \"" << json_escape(row.name) << "\": {\"calls\": "
+        << row.calls << ", \"nanos\": " << row.nanos << "}";
+  }
+  if (!first) out << "\n  ";
+  out << "}\n";
+  out << "}\n";
+  return out.str();
+}
+
+bool JsonReport::write_if_requested() const {
+  if (args_.json.empty()) return true;
+  std::ofstream out(args_.json);
+  if (!out) {
+    std::fprintf(stderr, "bench_json: cannot open %s for writing\n",
+                 args_.json.c_str());
+    return false;
+  }
+  out << to_json();
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "bench_json: write to %s failed\n",
+                 args_.json.c_str());
+    return false;
+  }
+  std::printf("bench_json: wrote %s\n", args_.json.c_str());
+  return true;
+}
+
+}  // namespace dtn::bench

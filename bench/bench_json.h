@@ -1,0 +1,83 @@
+// Machine-readable bench artifacts.
+//
+// Every bench binary owns a JsonReport: it wraps each measured phase in
+// `stage(...)`, which times the phase over repetitions and captures the
+// instrumentation counter deltas (src/common/instrument.h) accumulated by
+// the work. `--json PATH` then writes one schema-versioned record that
+// `tools/bench_compare.py` can diff against a baseline, gating regressions
+// on time *per counter unit* (e.g. nanoseconds per hypoexp CDF evaluation)
+// rather than raw wall time, so CI-runner noise does not flake the gate.
+//
+// Schema (schema_version 1, documented in DESIGN.md §7):
+//   {
+//     "schema_version": 1,
+//     "bench": "<binary name>",
+//     "git_sha": "<env GITHUB_SHA/DTN_GIT_SHA, else build-time sha>",
+//     "instrument_enabled": true|false,
+//     "threads": <resolved worker count>,
+//     "repetitions": <default stage repetitions>,
+//     "config": {"reps": N, "days": D, "threads": T, "fast": bool},
+//     "stages": [{"name": ..., "reps": N, "median_ns": ..., "p10_ns": ...,
+//                 "p90_ns": ..., "unit_counter": "...",
+//                 "work_units_per_rep": ..., "counters": {...deltas...}}],
+//     "counters": {... whole-run totals, non-zero only ...},
+//     "timers": {"<stage>": {"calls": N, "nanos": N}, ...}
+//   }
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/instrument.h"
+
+namespace dtn::bench {
+
+/// One timed phase of a bench run.
+struct StageRecord {
+  std::string name;
+  int reps = 1;
+  std::uint64_t median_ns = 0;
+  std::uint64_t p10_ns = 0;
+  std::uint64_t p90_ns = 0;
+  /// Counter dividing the stage time into per-unit cost; empty = calls.
+  std::string unit_counter;
+  /// Units of work per repetition (>= 1; falls back to 1 when the unit
+  /// counter did not move, e.g. in a DTN_INSTRUMENT=OFF build).
+  double work_units_per_rep = 1.0;
+  /// Non-zero instrumentation counter deltas across all repetitions.
+  std::vector<instrument::StageStats::CounterRow> counters;
+};
+
+/// Collects stage timings + counter deltas and renders the JSON record.
+class JsonReport {
+ public:
+  JsonReport(std::string bench_name, const BenchArgs& args);
+
+  /// Runs `fn` `reps` times (0 = the --reps default), timing each pass and
+  /// capturing the instrumentation counter deltas across all passes.
+  /// `unit_counter` names the counter whose delta measures the work done
+  /// (JSON name from instrument::counter_name); empty = per-call gating.
+  void stage(const std::string& name, const std::function<void()>& fn,
+             const std::string& unit_counter = std::string(), int reps = 0);
+
+  std::string to_json() const;
+
+  /// Writes to the --json path; no-op (returns true) when the flag is
+  /// absent. Prints to stderr and returns false when the write fails.
+  bool write_if_requested() const;
+
+  const std::vector<StageRecord>& stages() const { return stages_; }
+
+ private:
+  std::string name_;
+  BenchArgs args_;
+  std::vector<StageRecord> stages_;
+};
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& text);
+
+}  // namespace dtn::bench

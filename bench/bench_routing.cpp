@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/table.h"
 #include "routing/engine.h"
@@ -37,16 +38,22 @@ int main(int argc, char** argv) {
       std::make_unique<SprayAndWaitRouter>(trace.node_count(), 8));
   routers.push_back(std::make_unique<EpidemicRouter>(trace.node_count()));
 
+  bench::JsonReport report("bench_routing", args);
   TextTable table({"protocol", "delivery ratio", "mean delay (h)",
                    "transmissions/msg"});
-  for (auto& router : routers) {
-    const RoutingResult r = run_routing(trace, *router, config);
-    table.begin_row();
-    table.add_cell(r.protocol);
-    table.add_number(r.delivery_ratio, 3);
-    table.add_number(r.mean_delay_hours, 1);
-    table.add_number(r.transmissions_per_message, 1);
-  }
+  report.stage(
+      "routing_protocol_sweep",
+      [&] {
+        for (auto& router : routers) {
+          const RoutingResult r = run_routing(trace, *router, config);
+          table.begin_row();
+          table.add_cell(r.protocol);
+          table.add_number(r.delivery_ratio, 3);
+          table.add_number(r.mean_delay_hours, 1);
+          table.add_number(r.transmissions_per_message, 1);
+        }
+      },
+      std::string(), 1);
   std::printf("%s\n", table.to_string().c_str());
   std::printf(
       "Reading: epidemic bounds delivery from above at maximal cost;\n"
@@ -54,5 +61,5 @@ int main(int argc, char** argv) {
       "single-copy schemes (gradient, PROPHET) sit between direct delivery\n"
       "and spray — gradient is the forwarding primitive the NCL caching\n"
       "scheme builds its push, query and reply legs on.\n");
-  return 0;
+  return report.write_if_requested() ? 0 : 1;
 }

@@ -1,5 +1,6 @@
 // Shared helpers for the figure/table benches: command-line scaling flags
-// so the suite finishes quickly by default yet can be run at paper scale.
+// so the suite finishes quickly by default yet can be run at paper scale,
+// plus the --json flag selecting machine-readable output (bench_json.h).
 #pragma once
 
 #include <cstdio>
@@ -16,6 +17,7 @@ struct BenchArgs {
   double days = 0.0;  ///< 0 = bench-specific default
   bool fast = false;
   int threads = 0;    ///< 0 = hardware_concurrency, 1 = serial baseline
+  std::string json;   ///< --json PATH: write a machine-readable record
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -26,12 +28,15 @@ struct BenchArgs {
         args.days = std::atof(argv[++i]);
       } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
         args.threads = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        args.json = argv[++i];
       } else if (std::strcmp(argv[i], "--fast") == 0) {
         args.fast = true;
       } else {
         std::fprintf(
             stderr,
-            "usage: %s [--reps N] [--days D] [--threads T] [--fast]\n",
+            "usage: %s [--reps N] [--days D] [--threads T] [--fast] "
+            "[--json PATH]\n",
             argv[0]);
         std::exit(2);
       }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/instrument.h"
 
 namespace dtn {
 
@@ -12,6 +13,8 @@ KnapsackResult solve_knapsack(const std::vector<KnapsackItem>& items,
   if (unit <= 0) throw std::invalid_argument("knapsack unit must be > 0");
   KnapsackResult result;
   if (items.empty() || capacity <= 0) return result;
+  DTN_SCOPED_TIMER(kKnapsack);
+  DTN_COUNT(kKnapsackSolves);
 
   const std::size_t cap_units = static_cast<std::size_t>(capacity / unit);
   if (cap_units == 0) return result;
@@ -33,6 +36,7 @@ KnapsackResult solve_knapsack(const std::vector<KnapsackItem>& items,
   for (std::size_t i = 0; i < items.size(); ++i) {
     const std::size_t s = unit_sizes[i];
     if (s > cap_units) continue;
+    DTN_COUNT_N(kKnapsackDpCells, cap_units - s + 1);
     for (std::size_t c = cap_units; c >= s; --c) {
       const double candidate = dp[c - s] + items[i].value;
       if (candidate > dp[c]) {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/instrument.h"
 
 namespace dtn {
 
@@ -534,6 +535,7 @@ void NclCachingScheme::run_replacement(SimServices& services, NodeId a,
     reinsert(plan.keep_at_b, false);
 
     if (moved + dropped > 0) services.count_replacement(moved + dropped);
+    DTN_COUNT_N(kBufferEvictions, dropped);
   }
   if (any_pool) ++replacement_exchanges_;
 }
@@ -603,7 +605,10 @@ bool NclCachingScheme::evict_for(SimServices& services, NodeId node,
     ns.entries.erase(victim);
     ++evicted;
   }
-  if (evicted > 0) services.count_replacement(evicted);
+  if (evicted > 0) {
+    services.count_replacement(evicted);
+    DTN_COUNT_N(kBufferEvictions, evicted);
+  }
   return ns.buffer.fits(item.size);
 }
 

@@ -6,6 +6,7 @@
 
 #include "cache/knapsack.h"
 #include "common/check.h"
+#include "common/instrument.h"
 
 namespace dtn {
 namespace {
@@ -93,6 +94,9 @@ ReplacementPlan plan_replacement(const std::vector<ReplacementItem>& pool,
   if (capacity_a < 0 || capacity_b < 0) {
     throw std::invalid_argument("negative capacity");
   }
+  DTN_SCOPED_TIMER(kReplacementPlan);
+  DTN_COUNT(kReplacementPlans);
+  DTN_COUNT_N(kReplacementItemsPooled, pool.size());
   {
     std::unordered_set<DataId> ids;
     for (const auto& item : pool) {

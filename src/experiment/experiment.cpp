@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/instrument.h"
 #include "common/parallel.h"
 #include "baselines/bundle_cache.h"
 #include "baselines/cache_data.h"
@@ -103,6 +104,7 @@ std::unique_ptr<Scheme> make_scheme(SchemeKind kind,
 ExperimentResult run_experiment(const ContactTrace& trace, SchemeKind kind,
                                 const ExperimentConfig& config) {
   if (config.repetitions < 1) throw std::invalid_argument("repetitions >= 1");
+  DTN_SCOPED_TIMER(kExperiment);
 
   ExperimentResult result;
   result.scheme = scheme_kind_name(kind);
@@ -162,6 +164,7 @@ ExperimentResult run_experiment(const ContactTrace& trace, SchemeKind kind,
             static_cast<double>(run.metrics.bytes_transferred()) / 1e9;
         o.duplicates =
             static_cast<double>(run.metrics.duplicate_deliveries());
+        DTN_COUNT(kExperimentRepetitions);
         return o;
       });
 

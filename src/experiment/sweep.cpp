@@ -3,6 +3,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "common/instrument.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 
@@ -46,6 +47,7 @@ std::vector<SweepRow> run_sweep(
   std::vector<SweepRow> rows(total);
   std::mutex progress_mutex;
   std::size_t done = 0;
+  DTN_SCOPED_TIMER(kSweep);
 
   parallel_for(config.threads, total, [&](std::size_t index) {
     const Cell& c = cells[index];
@@ -69,6 +71,7 @@ std::vector<SweepRow> run_sweep(
     row.replacement_overhead = r.replacement_overhead.mean();
     row.queries = r.queries_issued.mean();
     rows[index] = std::move(row);
+    DTN_COUNT(kSweepCells);
 
     if (progress) {
       // The counter is incremented under the same mutex that serializes the

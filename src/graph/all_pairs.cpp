@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/instrument.h"
 #include "common/parallel.h"
 #include "graph/hypoexp.h"
 
@@ -11,6 +12,7 @@ namespace dtn {
 AllPairsPaths::AllPairsPaths(const ContactGraph& graph, Time horizon,
                              int max_hops, int threads)
     : horizon_(horizon) {
+  DTN_SCOPED_TIMER(kAllPairs);
   const std::size_t n = static_cast<std::size_t>(graph.node_count());
   tables_ = parallel_map(threads, n, [&](std::size_t root) {
     return compute_opportunistic_paths(graph, static_cast<NodeId>(root),

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/instrument.h"
 
 namespace dtn {
 namespace {
@@ -31,6 +32,7 @@ double erlang_cdf(int shape, double rate, double t) {
   if (shape < 1 || !(rate > 0.0)) {
     throw std::invalid_argument("erlang_cdf requires shape >= 1, rate > 0");
   }
+  DTN_COUNT(kHypoexpErlangEvals);
   if (t <= 0.0) return 0.0;
   // 1 - e^{-rt} * sum_{i=0}^{shape-1} (rt)^i / i!
   const double x = rate * t;
@@ -49,6 +51,7 @@ double hypoexp_cdf_closed_form(const std::vector<double>& rates, double t) {
   validate_rates(rates);
   if (rates.empty()) return t >= 0.0 ? 1.0 : 0.0;
   if (t <= 0.0) return 0.0;
+  DTN_COUNT(kHypoexpClosedFormEvals);
   double result = 0.0;
   const std::size_t r = rates.size();
   for (std::size_t k = 0; k < r; ++k) {
@@ -76,6 +79,7 @@ double hypoexp_cdf_uniformization(const std::vector<double>& rates, double t,
   validate_rates(rates);
   if (rates.empty()) return t >= 0.0 ? 1.0 : 0.0;
   if (t <= 0.0) return 0.0;
+  DTN_COUNT(kHypoexpUniformizationEvals);
 
   const std::size_t r = rates.size();
   const double big_lambda = *std::max_element(rates.begin(), rates.end());
@@ -130,6 +134,7 @@ double hypoexp_cdf(const std::vector<double>& rates, double t) {
   if (t <= 0.0) return 0.0;
   double result = 0.0;
   if (rates.size() == 1) {
+    DTN_COUNT(kHypoexpSingleEvals);
     result = std::clamp(1.0 - std::exp(-rates[0] * t), 0.0, 1.0);
   } else {
     const double first = rates.front();

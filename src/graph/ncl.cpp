@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/instrument.h"
 #include "common/parallel.h"
 
 namespace dtn {
@@ -15,6 +16,7 @@ std::vector<double> ncl_metrics(const ContactGraph& graph, Time horizon,
   const NodeId n = graph.node_count();
   std::vector<double> metrics(static_cast<std::size_t>(n), 0.0);
   if (n < 2) return metrics;
+  DTN_SCOPED_TIMER(kNclMetrics);
   parallel_for(threads, static_cast<std::size_t>(n), [&](std::size_t root) {
     const NodeId i = static_cast<NodeId>(root);
     const PathTable table = compute_opportunistic_paths(graph, i, horizon, max_hops);
@@ -71,6 +73,7 @@ Time calibrate_horizon(const ContactGraph& graph, double target_median,
   if (!(min_horizon > 0.0) || max_horizon <= min_horizon) {
     throw std::invalid_argument("invalid horizon bounds");
   }
+  DTN_SCOPED_TIMER(kCalibrateHorizon);
   auto median_metric = [&](Time horizon) {
     std::vector<double> m = ncl_metrics(graph, horizon, max_hops, threads);
     if (m.empty()) return 0.0;

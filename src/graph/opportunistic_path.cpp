@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/instrument.h"
 #include "graph/hypoexp.h"
 
 namespace dtn {
@@ -43,6 +44,7 @@ PathTable compute_opportunistic_paths(const ContactGraph& graph, NodeId root,
   if (root < 0 || root >= n) throw std::invalid_argument("root out of range");
   if (!(horizon > 0.0)) throw std::invalid_argument("horizon must be > 0");
   if (max_hops < 1) throw std::invalid_argument("max_hops must be >= 1");
+  DTN_SCOPED_TIMER(kDijkstra);
 
   std::vector<PathTable::Entry> entries(static_cast<std::size_t>(n));
   entries[static_cast<std::size_t>(root)].weight = 1.0;  // empty path
@@ -68,11 +70,13 @@ PathTable compute_opportunistic_paths(const ContactGraph& graph, NodeId root,
     if (settled[static_cast<std::size_t>(u)]) continue;
     if (weight < eu.weight) continue;  // stale entry
     settled[static_cast<std::size_t>(u)] = true;
+    DTN_COUNT(kDijkstraSettled);
     if (eu.hops >= max_hops) continue;
 
     for (const auto& nb : graph.neighbors(u)) {
       auto& ev = entries[static_cast<std::size_t>(nb.node)];
       if (settled[static_cast<std::size_t>(nb.node)]) continue;
+      DTN_COUNT(kDijkstraRelaxations);
       std::vector<double> rates = eu.rates;
       rates.push_back(nb.rate);
       const double candidate = hypoexp_cdf(rates, horizon);
@@ -92,6 +96,7 @@ PathTable compute_opportunistic_paths(const ContactGraph& graph, NodeId root,
       }
     }
   }
+  DTN_COUNT(kPathTablesBuilt);
   return PathTable(root, horizon, std::move(entries));
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/instrument.h"
 #include "graph/contact_graph.h"
 
 namespace dtn {
@@ -91,6 +92,7 @@ std::vector<SimConfig::Downtime> random_downtimes(NodeId node_count,
 RunResult run_simulation(const ContactTrace& trace, const Workload& workload,
                          Scheme& scheme, const SimConfig& config) {
   validate(config);
+  DTN_SCOPED_TIMER(kSimulation);
 
   RunResult result;
   Rng rng(config.seed);
@@ -115,6 +117,8 @@ RunResult run_simulation(const ContactTrace& trace, const Workload& workload,
   bool started = false;
 
   auto run_maintenance = [&](Time now) {
+    DTN_SCOPED_TIMER(kMaintenance);
+    DTN_COUNT(kMaintenanceTicks);
     services.set_now(now);
     services.set_paths(AllPairsPaths(
         estimator.snapshot(now, config.min_contacts_for_rate),
@@ -170,6 +174,8 @@ RunResult run_simulation(const ContactTrace& trace, const Workload& workload,
       }
       estimator.record_contact(e.a, e.b, e.start);
       if (e.start >= phase_start && started) {
+        DTN_SCOPED_TIMER(kContacts);
+        DTN_COUNT(kContactsProcessed);
         services.set_now(e.start);
         LinkBudget budget(static_cast<Bytes>(
             e.duration * static_cast<double>(config.bandwidth_per_second)));

@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Compare two bench JSON artifacts and gate on per-unit regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [options]
+    bench_compare.py --self-test
+
+Both files are schema_version-1 records written by a bench binary's
+``--json PATH`` flag (see bench/bench_json.h). For every stage present in
+both files the script compares the **time per counter unit**:
+
+    per_unit = median_ns / work_units_per_rep
+
+Gating on per-unit time rather than raw wall time makes the check robust
+against the two classic CI flake sources: (a) a noisy runner slows
+*everything*, but so does the baseline re-measured on the same runner in
+the same job, and (b) a legitimate change to the amount of work done (more
+Dijkstra relaxations because the graph grew) moves the unit counter
+together with the wall time, so the ratio only trips when the *same* unit
+of work got slower.
+
+A stage regresses when
+
+    candidate_per_unit > baseline_per_unit * (1 + threshold)
+
+with ``--threshold`` defaulting to 0.5 (candidate may be up to 50% slower
+per unit before the gate trips; generous because CI runners are shared).
+Stages present in only one file are reported but never fatal — benches
+gain and lose stages as the suite evolves.
+
+Exit codes: 0 = no regression, 1 = at least one regression (suppressed by
+``--advisory``), 2 = usage or file/schema error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import os
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 (py3.8 compat)
+    print(f"bench_compare: error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_report(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except OSError as exc:
+        fail(f"cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        fail(f"{path} is not valid JSON: {exc}")
+    if not isinstance(report, dict):
+        fail(f"{path}: top-level value must be an object")
+    version = report.get("schema_version")
+    if version != SCHEMA_VERSION:
+        fail(
+            f"{path}: schema_version {version!r} unsupported "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    for key in ("bench", "stages"):
+        if key not in report:
+            fail(f"{path}: missing required key {key!r}")
+    if not isinstance(report["stages"], list):
+        fail(f"{path}: 'stages' must be a list")
+    for stage in report["stages"]:
+        for key in ("name", "median_ns", "work_units_per_rep"):
+            if key not in stage:
+                fail(f"{path}: stage missing required key {key!r}")
+    return report
+
+
+def per_unit_ns(stage: dict) -> float:
+    units = float(stage["work_units_per_rep"])
+    if units <= 0:
+        units = 1.0
+    return float(stage["median_ns"]) / units
+
+
+def annotate(kind: str, message: str) -> None:
+    """Plain line locally, a ::error::/::notice:: annotation on Actions."""
+    if os.environ.get("GITHUB_ACTIONS") == "true":
+        print(f"::{kind}::{message}")
+    else:
+        print(message)
+
+
+def compare(baseline: dict, candidate: dict, threshold: float) -> list:
+    """Returns the list of regressed stage names, printing a report."""
+    base_stages = {s["name"]: s for s in baseline["stages"]}
+    cand_stages = {s["name"]: s for s in candidate["stages"]}
+
+    if baseline.get("bench") != candidate.get("bench"):
+        annotate(
+            "warning",
+            "comparing different benches: "
+            f"{baseline.get('bench')!r} vs {candidate.get('bench')!r}",
+        )
+
+    header = (
+        f"{'stage':<30} {'unit':<26} {'base ns/u':>12} "
+        f"{'cand ns/u':>12} {'ratio':>7}  verdict"
+    )
+    print(header)
+    print("-" * len(header))
+
+    regressed = []
+    for name in base_stages:
+        if name not in cand_stages:
+            print(f"{name:<30} (only in baseline; skipped)")
+            continue
+        base, cand = base_stages[name], cand_stages[name]
+        base_unit, cand_unit = per_unit_ns(base), per_unit_ns(cand)
+        if base_unit <= 0:
+            print(f"{name:<30} (baseline per-unit time is 0; skipped)")
+            continue
+        ratio = cand_unit / base_unit
+        bad = ratio > 1.0 + threshold
+        verdict = "REGRESSED" if bad else "ok"
+        unit = cand.get("unit_counter") or "per-call"
+        print(
+            f"{name:<30} {unit:<26} {base_unit:>12.2f} "
+            f"{cand_unit:>12.2f} {ratio:>7.3f}  {verdict}"
+        )
+        if bad:
+            regressed.append(name)
+            annotate(
+                "error",
+                f"bench regression in {candidate.get('bench')}/{name}: "
+                f"{cand_unit:.2f} ns per {unit} vs baseline "
+                f"{base_unit:.2f} (ratio {ratio:.2f}, "
+                f"threshold {1.0 + threshold:.2f})",
+            )
+    for name in cand_stages:
+        if name not in base_stages:
+            print(f"{name:<30} (new stage; no baseline)")
+    return regressed
+
+
+def self_test() -> int:
+    """Fixture check: identical files pass, a 2x per-unit slowdown fails."""
+
+    def make_report(median_ns: int, units: float) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "bench": "selftest",
+            "stages": [
+                {
+                    "name": "kernel",
+                    "reps": 3,
+                    "median_ns": median_ns,
+                    "p10_ns": median_ns,
+                    "p90_ns": median_ns,
+                    "unit_counter": "hypoexp_closed_form_evals",
+                    "work_units_per_rep": units,
+                    "counters": {},
+                }
+            ],
+        }
+
+    base = make_report(1_000_000, 1000.0)
+
+    failures = []
+
+    # 1. A file never regresses against itself.
+    if compare(copy.deepcopy(base), copy.deepcopy(base), 0.5):
+        failures.append("identical reports flagged as regression")
+
+    # 2. An injected 2x per-unit slowdown must trip the default threshold.
+    slow = make_report(2_000_000, 1000.0)
+    if not compare(copy.deepcopy(base), slow, 0.5):
+        failures.append("2x per-unit slowdown not flagged")
+
+    # 3. 2x wall time with 2x work units is NOT a per-unit regression.
+    scaled = make_report(2_000_000, 2000.0)
+    if compare(copy.deepcopy(base), scaled, 0.5):
+        failures.append("work-proportional slowdown wrongly flagged")
+
+    # 4. Time under threshold passes (1.4x < 1.5x cutoff).
+    near = make_report(1_400_000, 1000.0)
+    if compare(copy.deepcopy(base), near, 0.5):
+        failures.append("sub-threshold slowdown wrongly flagged")
+
+    # 5. Missing work_units falls back to per-call gating: same wall time
+    # but units<=0 must not divide by zero.
+    degenerate = make_report(1_000_000, 0.0)
+    if compare(copy.deepcopy(degenerate), copy.deepcopy(degenerate), 0.5):
+        failures.append("degenerate unit count mishandled")
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAILED: {f}", file=sys.stderr)
+        return 1
+    print("bench_compare self-test: all fixtures passed")
+    return 0
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two bench JSON artifacts, gating on per-unit time"
+    )
+    parser.add_argument("baseline", nargs="?", help="baseline JSON artifact")
+    parser.add_argument("candidate", nargs="?", help="candidate JSON artifact")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="allowed per-unit slowdown fraction (default 0.5 = +50%%)",
+    )
+    parser.add_argument(
+        "--advisory",
+        action="store_true",
+        help="report regressions but always exit 0 (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in fixtures and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        parser.error("baseline and candidate files are required")
+    if args.threshold < 0:
+        parser.error("--threshold must be >= 0")
+
+    baseline = load_report(args.baseline)
+    candidate = load_report(args.candidate)
+    regressed = compare(baseline, candidate, args.threshold)
+    if regressed:
+        print(
+            f"bench_compare: {len(regressed)} stage(s) regressed: "
+            + ", ".join(regressed)
+        )
+        if args.advisory:
+            annotate("notice", "advisory mode: regressions do not fail the job")
+            return 0
+        return 1
+    print("bench_compare: no per-unit regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

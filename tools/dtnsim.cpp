@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/instrument.h"
 #include "common/table.h"
 #include "experiment/experiment.h"
 #include "trace/mobility.h"
@@ -43,6 +44,7 @@ struct CliOptions {
   double miss_prob = 0.0;
   bool dynamic_ncl = false;
   bool csv = false;
+  bool stats = false;
   int threads = 0;
 };
 
@@ -66,6 +68,8 @@ struct CliOptions {
       "  --miss-prob P    contact miss probability (failure injection)\n"
       "  --dynamic-ncl    re-select central nodes at every maintenance tick\n"
       "  --csv            machine-readable CSV instead of a table\n"
+      "  --stats          print stage timers and domain counters to stderr\n"
+      "                   after the run (no-op in DTN_INSTRUMENT=OFF builds)\n"
       "  --threads T      worker threads (0 = all cores, 1 = serial);\n"
       "                   results are identical for every value\n",
       argv0);
@@ -126,6 +130,8 @@ CliOptions parse(int argc, char** argv) {
       }
     } else if (flag == "--csv") {
       options.csv = true;
+    } else if (flag == "--stats") {
+      options.stats = true;
     } else {
       usage(argv[0]);
     }
@@ -270,5 +276,17 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", options.csv ? table.to_csv().c_str()
                                 : table.to_string().c_str());
+
+  if (options.stats) {
+    // stderr keeps --csv output machine-readable even with --stats on.
+    if (instrument::enabled()) {
+      std::fprintf(stderr, "\n%s",
+                   instrument::snapshot().to_string().c_str());
+    } else {
+      std::fprintf(stderr,
+                   "\n--stats: instrumentation compiled out "
+                   "(DTN_INSTRUMENT=OFF)\n");
+    }
+  }
   return 0;
 }

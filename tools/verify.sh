@@ -2,9 +2,11 @@
 # Staged verification pipeline. Every stage is recorded; the script prints a
 # per-stage summary table at the end and exits non-zero if ANY stage failed.
 #
-#   tools/verify.sh            full: tier-1 + lint + clang-tidy + TSan/ASan/UBSan
-#   tools/verify.sh --fast     skip the sanitizer rebuilds (local iteration)
-#   tools/verify.sh --no-tsan  legacy flag: skip only the TSan stage
+#   tools/verify.sh                full: tier-1 + lint + clang-tidy + TSan/ASan/UBSan
+#   tools/verify.sh --fast         skip the sanitizer rebuilds (local iteration)
+#   tools/verify.sh --no-tsan      legacy flag: skip only the TSan stage
+#   tools/verify.sh --stage NAME   run exactly one stage (CI matrix jobs);
+#                                  NAME in tier-1|lint|clang-tidy|tsan|asan|ubsan
 #
 # Stages (see "Verification matrix" in README.md for what each one catches):
 #   tier-1      release build with -Werror + the full ctest suite
@@ -13,20 +15,46 @@
 #   tsan        -fsanitize=thread over the parallel-layer tests
 #   asan        -fsanitize=address over the full ctest suite
 #   ubsan       -fsanitize=undefined over the full ctest suite
+#
+# CI behavior: fully headless (never prompts, stdin unused). Parallelism
+# honors CMAKE_BUILD_PARALLEL_LEVEL / CTEST_PARALLEL_LEVEL when set (CI
+# runners often advertise more cores than the job may use), falling back to
+# nproc. When GITHUB_ACTIONS=true, stages are wrapped in ::group:: markers
+# and failures emit ::error:: annotations.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
 fast=0
 run_tsan=1
-for arg in "$@"; do
-  case "$arg" in
+only_stage=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
     --fast) fast=1 ;;
     --no-tsan) run_tsan=0 ;;
-    *) echo "usage: tools/verify.sh [--fast] [--no-tsan]" >&2; exit 2 ;;
+    --stage)
+      [[ $# -ge 2 ]] || { echo "--stage needs a name" >&2; exit 2; }
+      only_stage="$2"; shift ;;
+    *)
+      echo "usage: tools/verify.sh [--fast] [--no-tsan] [--stage NAME]" >&2
+      exit 2 ;;
   esac
+  shift
 done
 
-jobs="$(nproc)"
+case "$only_stage" in
+  ""|tier-1|lint|clang-tidy|tsan|asan|ubsan) ;;
+  *) echo "unknown stage '$only_stage' (tier-1|lint|clang-tidy|tsan|asan|ubsan)" >&2
+     exit 2 ;;
+esac
+
+# CI runners pin job parallelism via the standard CMake/CTest env knobs;
+# locally we use every core. Both tools also read these env vars natively,
+# but we thread an explicit -j so the value shows up in logs.
+build_jobs="${CMAKE_BUILD_PARALLEL_LEVEL:-$(nproc)}"
+test_jobs="${CTEST_PARALLEL_LEVEL:-$(nproc)}"
+on_actions=0
+[[ "${GITHUB_ACTIONS:-}" == "true" ]] && on_actions=1
+
 stage_names=()
 stage_results=()
 overall=0
@@ -34,17 +62,30 @@ overall=0
 record() {  # record <name> <result: OK|FAIL|SKIP (reason)>
   stage_names+=("$1")
   stage_results+=("$2")
-  [[ "$2" == FAIL* ]] && overall=1
+  if [[ "$2" == FAIL* ]]; then
+    overall=1
+    [[ "$on_actions" == 1 ]] && echo "::error title=verify stage failed::stage '$1' failed"
+  fi
+}
+
+wanted() {  # wanted <name> -> 0 when the stage should run/report
+  [[ -z "$only_stage" || "$only_stage" == "$1" ]]
 }
 
 run_stage() {  # run_stage <name> <function>
+  wanted "$1" || return 0
   echo
-  echo "== stage: $1 =="
-  if "$2"; then
+  if [[ "$on_actions" == 1 ]]; then
+    echo "::group::stage: $1"
+  else
+    echo "== stage: $1 =="
+  fi
+  if "$2" </dev/null; then
     record "$1" "OK"
   else
     record "$1" "FAIL"
   fi
+  [[ "$on_actions" == 1 ]] && echo "::endgroup::"
 }
 
 probe_sanitizer() {  # probe_sanitizer <flag> -> 0 if toolchain can link it
@@ -56,18 +97,18 @@ probe_sanitizer() {  # probe_sanitizer <flag> -> 0 if toolchain can link it
 sanitizer_stage() {  # sanitizer_stage <mode> <build-dir> [ctest -R regex]
   local mode="$1" dir="$2" filter="${3:-}"
   cmake -B "$dir" -S . -DDTN_SANITIZE="$mode" >/dev/null || return 1
-  cmake --build "$dir" -j"$jobs" --target dtn_all_tests >/dev/null || return 1
+  cmake --build "$dir" -j"$build_jobs" --target dtn_all_tests >/dev/null || return 1
   if [[ -n "$filter" ]]; then
-    ctest --test-dir "$dir" --output-on-failure -j"$jobs" -R "$filter"
+    ctest --test-dir "$dir" --output-on-failure -j"$test_jobs" -R "$filter"
   else
-    ctest --test-dir "$dir" --output-on-failure -j"$jobs"
+    ctest --test-dir "$dir" --output-on-failure -j"$test_jobs"
   fi
 }
 
 stage_tier1() {
   cmake -B build -S . -DDTN_WERROR=ON >/dev/null || return 1
-  cmake --build build -j"$jobs" >/dev/null || return 1
-  ctest --test-dir build --output-on-failure -j"$jobs"
+  cmake --build build -j"$build_jobs" >/dev/null || return 1
+  ctest --test-dir build --output-on-failure -j"$test_jobs"
 }
 
 stage_lint() {
@@ -81,7 +122,7 @@ stage_clang_tidy() {
   cmake -B build-tidy -S . -DDTN_CLANG_TIDY=ON >/dev/null || return 1
   # --warnings-as-errors=* in the cmake wiring turns any unsuppressed
   # finding into a compile error, so a green build means zero findings.
-  cmake --build build-tidy -j"$jobs" >/dev/null
+  cmake --build build-tidy -j"$build_jobs" >/dev/null
 }
 
 stage_tsan() {
@@ -96,39 +137,55 @@ stage_ubsan() { sanitizer_stage undefined build-ubsan; }
 
 run_stage "tier-1" stage_tier1
 
-if command -v python3 >/dev/null 2>&1; then
-  run_stage "lint" stage_lint
-else
-  record "lint" "SKIP (no python3)"
+if wanted "lint"; then
+  if command -v python3 >/dev/null 2>&1; then
+    run_stage "lint" stage_lint
+  else
+    record "lint" "SKIP (no python3)"
+  fi
 fi
 
-if command -v clang-tidy >/dev/null 2>&1; then
-  run_stage "clang-tidy" stage_clang_tidy
-else
-  record "clang-tidy" "SKIP (no clang-tidy on PATH)"
+if wanted "clang-tidy"; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    run_stage "clang-tidy" stage_clang_tidy
+  else
+    record "clang-tidy" "SKIP (no clang-tidy on PATH)"
+  fi
 fi
 
-if [[ "$fast" == 1 ]]; then
+# --fast only suppresses sanitizer stages that were not explicitly
+# requested: `--stage asan --fast` still runs ASan.
+sanitizers_wanted=1
+if [[ "$fast" == 1 && -z "$only_stage" ]]; then
   record "tsan" "SKIP (--fast)"
   record "asan" "SKIP (--fast)"
   record "ubsan" "SKIP (--fast)"
-else
-  if [[ "$run_tsan" == 0 ]]; then
-    record "tsan" "SKIP (--no-tsan)"
-  elif probe_sanitizer thread; then
-    run_stage "tsan" stage_tsan
-  else
-    record "tsan" "SKIP (toolchain cannot link -fsanitize=thread)"
+  sanitizers_wanted=0
+fi
+
+if [[ "$sanitizers_wanted" == 1 ]]; then
+  if wanted "tsan"; then
+    if [[ "$run_tsan" == 0 ]]; then
+      record "tsan" "SKIP (--no-tsan)"
+    elif probe_sanitizer thread; then
+      run_stage "tsan" stage_tsan
+    else
+      record "tsan" "SKIP (toolchain cannot link -fsanitize=thread)"
+    fi
   fi
-  if probe_sanitizer address; then
-    run_stage "asan" stage_asan
-  else
-    record "asan" "SKIP (toolchain cannot link -fsanitize=address)"
+  if wanted "asan"; then
+    if probe_sanitizer address; then
+      run_stage "asan" stage_asan
+    else
+      record "asan" "SKIP (toolchain cannot link -fsanitize=address)"
+    fi
   fi
-  if probe_sanitizer undefined; then
-    run_stage "ubsan" stage_ubsan
-  else
-    record "ubsan" "SKIP (toolchain cannot link -fsanitize=undefined)"
+  if wanted "ubsan"; then
+    if probe_sanitizer undefined; then
+      run_stage "ubsan" stage_ubsan
+    else
+      record "ubsan" "SKIP (toolchain cannot link -fsanitize=undefined)"
+    fi
   fi
 fi
 
