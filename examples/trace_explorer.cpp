@@ -7,8 +7,9 @@
 //   trace_explorer infocom05|infocom06|mitreality|ucsd|rwp [days]
 //   trace_explorer path/to/trace.csv  [days]
 //
-// CSV format: "start,duration,a,b" per contact (see trace/trace_io.h), so
-// real CRAWDAD exports drop straight in. "rwp" simulates random-waypoint
+// Trace files can be CSV ("start,duration,a,b"), ONE connectivity reports,
+// iMote contact logs or compact .dtntrace binaries — the format is sniffed
+// from the content (see traceio/). "rwp" simulates random-waypoint
 // mobility with home-point attraction and extracts contacts geometrically.
 #include <algorithm>
 #include <cstdio>
@@ -21,7 +22,7 @@
 #include "graph/ncl.h"
 #include "trace/mobility.h"
 #include "trace/synthetic.h"
-#include "trace/trace_io.h"
+#include "traceio/cache.h"
 
 using namespace dtn;
 
@@ -43,7 +44,7 @@ ContactTrace load(const std::string& spec, double limit_days) {
     config.home_attachment = 0.7;
     return generate_mobility_trace(config, "rwp");
   }
-  ContactTrace trace = load_trace_csv(spec);
+  ContactTrace trace = traceio::load_trace_any(spec);
   if (limit_days > 0) {
     trace = trace.slice(trace.start_time(),
                         trace.start_time() + days(limit_days));

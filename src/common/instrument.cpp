@@ -29,6 +29,10 @@ constexpr std::array<const char*, kCounterCount> kCounterNames = {
     "maintenance_ticks",
     "experiment_repetitions",
     "sweep_cells",
+    "trace_contacts_decoded",
+    "trace_bytes_read",
+    "trace_cache_hits",
+    "trace_cache_misses",
 };
 
 constexpr std::array<const char*, kTimerCount> kTimerNames = {
@@ -43,6 +47,7 @@ constexpr std::array<const char*, kTimerCount> kTimerNames = {
     "replacement_plan",
     "experiment",
     "sweep",
+    "trace_load",
 };
 
 struct Registry {

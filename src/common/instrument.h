@@ -55,6 +55,10 @@ enum class Counter : int {
   kMaintenanceTicks,            ///< periodic maintenance invocations
   kExperimentRepetitions,       ///< experiment repetitions completed
   kSweepCells,                  ///< sweep grid cells completed
+  kTraceContactsDecoded,        ///< contacts decoded by trace readers
+  kTraceBytesRead,              ///< bytes consumed by trace ingestion
+  kTraceCacheHits,              ///< fresh .dtntrace sidecar loads
+  kTraceCacheMisses,            ///< text parses with caching enabled
   kCount
 };
 
@@ -71,6 +75,7 @@ enum class Timer : int {
   kReplacementPlan,   ///< plan_replacement (Algorithm 1)
   kExperiment,        ///< run_experiment, end to end
   kSweep,             ///< run_sweep over the whole grid
+  kTraceLoad,         ///< load_trace_any, end to end (parse or cache load)
   kCount
 };
 

@@ -1,5 +1,6 @@
 #include "experiment/experiment.h"
 
+#include <optional>
 #include <stdexcept>
 
 #include "common/check.h"
@@ -37,6 +38,14 @@ Time effective_horizon(const ContactGraph& graph,
   return calibrate_horizon(graph, config.horizon_target_median, minutes(1),
                            days(90), config.sim.max_hops,
                            config.sim.threads);
+}
+
+WarmupContext make_warmup_context(const ContactTrace& trace,
+                                  const ExperimentConfig& config) {
+  WarmupContext ctx;
+  ctx.graph = warmup_graph(trace, config);
+  ctx.horizon = effective_horizon(ctx.graph, config);
+  return ctx;
 }
 
 NclSelection warmup_ncl_selection(const ContactTrace& trace,
@@ -102,7 +111,8 @@ std::unique_ptr<Scheme> make_scheme(SchemeKind kind,
 }
 
 ExperimentResult run_experiment(const ContactTrace& trace, SchemeKind kind,
-                                const ExperimentConfig& config) {
+                                const ExperimentConfig& config,
+                                const WarmupContext* warmup) {
   if (config.repetitions < 1) throw std::invalid_argument("repetitions >= 1");
   DTN_SCOPED_TIMER(kExperiment);
 
@@ -110,8 +120,13 @@ ExperimentResult run_experiment(const ContactTrace& trace, SchemeKind kind,
   result.scheme = scheme_kind_name(kind);
 
   const Time warmup_end = trace.start_time() + trace.duration() / 2.0;
-  const ContactGraph graph = warmup_graph(trace, config);
-  const Time horizon = effective_horizon(graph, config);
+  std::optional<WarmupContext> local;
+  if (warmup == nullptr) {
+    local.emplace(make_warmup_context(trace, config));
+    warmup = &*local;
+  }
+  const ContactGraph& graph = warmup->graph;
+  const Time horizon = warmup->horizon;
   const NclSelection ncls = select_ncls(graph, horizon, config.ncl_count,
                                         config.sim.max_hops,
                                         config.sim.threads);
@@ -187,15 +202,30 @@ ExperimentResult run_experiment(const ContactTrace& trace, SchemeKind kind,
   return result;
 }
 
+ExperimentResult run_experiment(
+    const std::shared_ptr<const ContactTrace>& trace, SchemeKind kind,
+    const ExperimentConfig& config) {
+  if (!trace) throw std::invalid_argument("run_experiment: null trace");
+  return run_experiment(*trace, kind, config);
+}
+
 std::vector<ExperimentResult> run_comparison(
     const ContactTrace& trace, const std::vector<SchemeKind>& kinds,
     const ExperimentConfig& config) {
+  const WarmupContext warmup = make_warmup_context(trace, config);
   std::vector<ExperimentResult> results;
   results.reserve(kinds.size());
   for (SchemeKind kind : kinds) {
-    results.push_back(run_experiment(trace, kind, config));
+    results.push_back(run_experiment(trace, kind, config, &warmup));
   }
   return results;
+}
+
+std::vector<ExperimentResult> run_comparison(
+    const std::shared_ptr<const ContactTrace>& trace,
+    const std::vector<SchemeKind>& kinds, const ExperimentConfig& config) {
+  if (!trace) throw std::invalid_argument("run_comparison: null trace");
+  return run_comparison(*trace, kinds, config);
 }
 
 }  // namespace dtn

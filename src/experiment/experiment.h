@@ -82,6 +82,19 @@ ContactGraph warmup_graph(const ContactTrace& trace,
 Time effective_horizon(const ContactGraph& graph,
                        const ExperimentConfig& config);
 
+/// Warm-up products that depend only on the trace and the substrate
+/// parameters (min_contacts_for_rate, max_hops, auto_horizon, ...), not on
+/// the swept workload axes (lifetime, data size, K, scheme). A sweep or
+/// comparison computes this once and every cell reuses it instead of
+/// re-estimating the same graph and re-calibrating the same horizon.
+struct WarmupContext {
+  ContactGraph graph;
+  Time horizon = 0.0;
+};
+
+WarmupContext make_warmup_context(const ContactTrace& trace,
+                                  const ExperimentConfig& config);
+
 /// Selects NCLs from the warm-up half of the trace (utility for benches
 /// and examples that want the selection itself).
 NclSelection warmup_ncl_selection(const ContactTrace& trace,
@@ -100,14 +113,30 @@ std::unique_ptr<Scheme> make_scheme(SchemeKind kind,
                                     std::vector<Bytes> buffers);
 
 /// Runs the full experiment cell: warm-up split, NCL selection, repeated
-/// simulation, aggregation.
+/// simulation, aggregation. When `warmup` is non-null it must have been
+/// built by make_warmup_context for the same trace and the same substrate
+/// fields of `config`; the cell then skips graph estimation and horizon
+/// calibration. Passing nullptr computes a private context — results are
+/// identical either way.
 ExperimentResult run_experiment(const ContactTrace& trace, SchemeKind kind,
-                                const ExperimentConfig& config);
+                                const ExperimentConfig& config,
+                                const WarmupContext* warmup = nullptr);
+
+/// Shared-trace form for drivers that load once and fan out (dtnsim,
+/// sweeps): same results, no copy of the trace.
+ExperimentResult run_experiment(
+    const std::shared_ptr<const ContactTrace>& trace, SchemeKind kind,
+    const ExperimentConfig& config);
 
 /// Convenience: run several schemes on the same trace and identical
-/// workloads.
+/// workloads. The warm-up context is computed once and shared across
+/// schemes.
 std::vector<ExperimentResult> run_comparison(
     const ContactTrace& trace, const std::vector<SchemeKind>& kinds,
     const ExperimentConfig& config);
+
+std::vector<ExperimentResult> run_comparison(
+    const std::shared_ptr<const ContactTrace>& trace,
+    const std::vector<SchemeKind>& kinds, const ExperimentConfig& config);
 
 }  // namespace dtn

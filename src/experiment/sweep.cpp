@@ -2,6 +2,7 @@
 
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/instrument.h"
 #include "common/parallel.h"
@@ -49,6 +50,11 @@ std::vector<SweepRow> run_sweep(
   std::size_t done = 0;
   DTN_SCOPED_TIMER(kSweep);
 
+  // The swept axes (scheme, lifetime, size, K) never touch the warm-up
+  // graph or the horizon calibration, so those are computed once here and
+  // shared read-only by every cell.
+  const WarmupContext warmup = make_warmup_context(trace, config.base);
+
   parallel_for(config.threads, total, [&](std::size_t index) {
     const Cell& c = cells[index];
     ExperimentConfig cell = config.base;
@@ -58,7 +64,7 @@ std::vector<SweepRow> run_sweep(
     // Seed as a pure function of (base seed, grid index): cells never share
     // an RNG stream, so the schedule cannot leak into the results.
     cell.seed = derive_seed(config.base.seed, index);
-    const ExperimentResult r = run_experiment(trace, c.scheme, cell);
+    const ExperimentResult r = run_experiment(trace, c.scheme, cell, &warmup);
 
     SweepRow row;
     row.scheme = r.scheme;
@@ -81,6 +87,13 @@ std::vector<SweepRow> run_sweep(
     }
   });
   return rows;
+}
+
+std::vector<SweepRow> run_sweep(
+    const std::shared_ptr<const ContactTrace>& trace, const SweepConfig& config,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  if (!trace) throw std::invalid_argument("run_sweep: null trace");
+  return run_sweep(*trace, config, progress);
 }
 
 std::string sweep_to_csv(const std::vector<SweepRow>& rows) {

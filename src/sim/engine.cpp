@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/instrument.h"
 #include "graph/contact_graph.h"
 
@@ -91,6 +92,14 @@ std::vector<SimConfig::Downtime> random_downtimes(NodeId node_count,
 
 RunResult run_simulation(const ContactTrace& trace, const Workload& workload,
                          Scheme& scheme, const SimConfig& config) {
+  traceio::VectorContactCursor contacts(trace.events());
+  return run_simulation(contacts, trace.node_count(), trace.end_time(),
+                        workload, scheme, config);
+}
+
+RunResult run_simulation(traceio::ContactCursor& contacts, NodeId node_count,
+                         Time trace_end_hint, const Workload& workload,
+                         Scheme& scheme, const SimConfig& config) {
   validate(config);
   DTN_SCOPED_TIMER(kSimulation);
 
@@ -99,20 +108,24 @@ RunResult run_simulation(const ContactTrace& trace, const Workload& workload,
   // Failure injection uses its own stream so enabling it does not perturb
   // the scheme's random decisions.
   Rng failure_rng(config.seed ^ 0xFA11FA11FA11FA11ULL);
-  const DowntimeIndex downtime(config.node_downtime, trace.node_count());
+  const DowntimeIndex downtime(config.node_downtime, node_count);
   SimServices services(workload.registry(), rng, result.metrics);
   result.metrics.set_data_count(workload.data_count());
 
-  RateEstimator estimator(std::max<NodeId>(trace.node_count(), 2),
+  RateEstimator estimator(std::max<NodeId>(node_count, 2),
                           config.rate_decay);
 
-  const auto& contacts = trace.events();
   const auto& work = workload.events();
+
+  // One-event lookahead over the contact stream; O(1) contact memory.
+  ContactEvent pending;
+  bool has_pending = contacts.next(pending);
+  Time latest_contact_end = has_pending ? pending.end() : 0.0;
 
   // The data-access phase starts at the first workload event; maintenance
   // ticks start there too (the administrator has already selected NCLs from
   // warm-up data before the scheme was constructed).
-  const Time phase_start = work.empty() ? trace.end_time() : work.front().time;
+  const Time phase_start = work.empty() ? trace_end_hint : work.front().time;
   Time next_maintenance = phase_start;
   bool started = false;
 
@@ -137,10 +150,9 @@ RunResult run_simulation(const ContactTrace& trace, const Workload& workload,
     ++result.maintenance_ticks;
   };
 
-  std::size_t ci = 0;  // next contact
   std::size_t wi = 0;  // next workload event
-  while (ci < contacts.size() || wi < work.size()) {
-    const Time t_contact = ci < contacts.size() ? contacts[ci].start : kNever;
+  while (has_pending || wi < work.size()) {
+    const Time t_contact = has_pending ? pending.start : kNever;
     const Time t_work = wi < work.size() ? work[wi].time : kNever;
     const Time t_next = std::min(t_contact, t_work);
 
@@ -162,7 +174,14 @@ RunResult run_simulation(const ContactTrace& trace, const Workload& workload,
         scheme.on_query(services, e.query);
       }
     } else {
-      const ContactEvent& e = contacts[ci++];
+      const ContactEvent e = pending;
+      has_pending = contacts.next(pending);
+      if (has_pending) {
+        // Cursor contract: contacts arrive in start-time order (a trace is
+        // sorted by construction; a corrupt stream must not be folded in).
+        DTN_CHECK_GE(pending.start, e.start);
+        latest_contact_end = std::max(latest_contact_end, pending.end());
+      }
       // Failure injection: missed contacts and down nodes never happen, as
       // far as anyone (including the rate estimator) can tell.
       if (config.contact_miss_prob > 0.0 &&
@@ -186,7 +205,8 @@ RunResult run_simulation(const ContactTrace& trace, const Workload& workload,
   }
 
   // Final maintenance/sampling at the end of the timeline.
-  const Time end_time = std::max(trace.end_time(), phase_start);
+  const Time end_time =
+      std::max({trace_end_hint, latest_contact_end, phase_start});
   services.set_now(end_time);
   scheme.on_end(services);
   return result;

@@ -14,6 +14,7 @@
 #include "sim/metrics.h"
 #include "sim/scheme.h"
 #include "trace/trace.h"
+#include "traceio/cursor.h"
 #include "workload/workload.h"
 
 namespace dtn {
@@ -86,6 +87,19 @@ struct RunResult {
 /// the data-access phase; trace contacts before the first workload event
 /// only feed the rate estimator (warm-up).
 RunResult run_simulation(const ContactTrace& trace, const Workload& workload,
+                         Scheme& scheme, const SimConfig& config);
+
+/// Streaming form: consumes contacts from a cursor (traceio/cursor.h)
+/// instead of a materialized vector, so a multi-GB .dtntrace runs in
+/// O(io-buffer) memory. `contacts` must emit events sorted by start time
+/// (DTN_CHECK-enforced); `node_count` bounds node ids; `trace_end_hint` is
+/// the trace's end time when known (a BinaryFileContactCursor's
+/// meta().end_time) — the engine also tracks the latest contact end seen,
+/// so 0 is safe and only shifts the final sampling instant for cursors
+/// whose last contact is not the latest-ending one. The ContactTrace
+/// overload delegates here; both paths are bit-identical.
+RunResult run_simulation(traceio::ContactCursor& contacts, NodeId node_count,
+                         Time trace_end_hint, const Workload& workload,
                          Scheme& scheme, const SimConfig& config);
 
 }  // namespace dtn

@@ -4,7 +4,9 @@
 //   start,duration,a,b
 // Times are seconds (floating point); node ids are 0-based integers.
 // Real traces (e.g. CRAWDAD exports) convert to this format trivially, so
-// the whole evaluation pipeline runs unchanged on real data.
+// the whole evaluation pipeline runs unchanged on real data. Heterogeneous
+// formats (ONE connectivity reports, iMote pairwise logs) and the compact
+// binary cache live one layer up, in src/traceio/.
 #pragma once
 
 #include <iosfwd>
@@ -19,12 +21,25 @@ namespace dtn {
 void write_trace_csv(const ContactTrace& trace, std::ostream& out);
 void save_trace_csv(const ContactTrace& trace, const std::string& path);
 
+struct CsvParseOptions {
+  /// Strict mode additionally rejects trailing fields / garbage after the
+  /// fourth column (tolerated otherwise for compatibility with exports that
+  /// carry extra columns). Used by `tracetool validate`.
+  bool strict = false;
+  /// Name used in "<source>:<line>: ..." parse errors; empty = the trace
+  /// name (useful when the trace name is a basename but errors should show
+  /// the full path).
+  std::string source_name;
+};
+
 /// Reads a trace. `node_count` of the result is max(node id) + 1 unless a
 /// larger `min_node_count` is given. Throws std::runtime_error on malformed
-/// input.
+/// input; every parse error carries "<source>:<line>" context.
 ContactTrace read_trace_csv(std::istream& in, std::string name = "trace",
-                            NodeId min_node_count = 0);
+                            NodeId min_node_count = 0,
+                            const CsvParseOptions& options = {});
 ContactTrace load_trace_csv(const std::string& path,
-                            NodeId min_node_count = 0);
+                            NodeId min_node_count = 0,
+                            const CsvParseOptions& options = {});
 
 }  // namespace dtn

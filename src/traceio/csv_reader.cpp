@@ -1,0 +1,46 @@
+// The native CSV format as a pluggable reader. Parsing itself lives in
+// trace/trace_io.cpp (the historical entry point, still used directly by
+// code that knows it has CSV); this adapter only adds sniffing.
+#include "traceio/reader.h"
+
+#include <cctype>
+
+#include "trace/trace_io.h"
+
+namespace dtn::traceio {
+namespace {
+
+class CsvReader final : public TraceReader {
+ public:
+  const char* format_name() const override { return "csv"; }
+
+  bool sniff(const std::string& head) const override {
+    // Either the canonical header, or a first line shaped like
+    // `<num>,<num>,<int>,<int>`. A comma before any whitespace separator is
+    // the discriminator against the whitespace-separated formats.
+    if (head.rfind("start", 0) == 0) return true;
+    for (const char c : head) {
+      if (c == ',') return true;
+      if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) break;
+    }
+    return false;
+  }
+
+  ContactTrace read(std::istream& in, const std::string& trace_name,
+                    const std::string& source_name,
+                    const TraceReadOptions& options) const override {
+    CsvParseOptions csv;
+    csv.strict = options.strict;
+    csv.source_name = source_name;
+    return read_trace_csv(in, trace_name, options.min_node_count, csv);
+  }
+};
+
+}  // namespace
+
+const TraceReader& csv_reader() {
+  static const CsvReader reader;
+  return reader;
+}
+
+}  // namespace dtn::traceio

@@ -1,0 +1,39 @@
+#include "traceio/cursor.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace dtn::traceio {
+
+struct BinaryFileContactCursor::Impl {
+  std::ifstream in;
+  std::unique_ptr<BinaryDecoder> decoder;
+};
+
+BinaryFileContactCursor::BinaryFileContactCursor(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->in.open(path, std::ios::binary);
+  if (!impl_->in) {
+    throw std::runtime_error("cannot open trace file: " + path);
+  }
+  impl_->decoder = std::make_unique<BinaryDecoder>(impl_->in, path);
+}
+
+BinaryFileContactCursor::~BinaryFileContactCursor() = default;
+
+const BinaryTraceMeta& BinaryFileContactCursor::meta() const {
+  return impl_->decoder->meta();
+}
+
+bool BinaryFileContactCursor::next(ContactEvent& out) {
+  return impl_->decoder->next(out);
+}
+
+std::vector<ContactEvent> drain(ContactCursor& cursor) {
+  std::vector<ContactEvent> events;
+  ContactEvent e;
+  while (cursor.next(e)) events.push_back(e);
+  return events;
+}
+
+}  // namespace dtn::traceio

@@ -1,0 +1,175 @@
+// ONE-simulator connectivity report reader.
+//
+// The ONE (Opportunistic Network Environment) simulator's ConnectivityONE
+// report emits one line per link event:
+//
+//   <time> CONN <host-a> <host-b> up
+//   <time> CONN <host-a> <host-b> down
+//
+// An `up`/`down` pair becomes one ContactEvent. Host ids are arbitrary
+// integers and are densely remapped by ascending raw id (NodeIdMap). Events
+// may interleave across pairs but each pair's events must be time-ordered.
+// Contacts still open at end-of-report close at the last timestamp seen
+// (the report simply stopped while the link was up). Non-CONN report lines
+// (ONE mixes event types when misconfigured) and `# comments` are skipped;
+// strict mode rejects them instead, along with duplicate `up` events and
+// `down` events without a matching `up` (tolerated otherwise, as real
+// reports truncated mid-run produce both).
+#include "traceio/reader.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/instrument.h"
+
+namespace dtn::traceio {
+namespace {
+
+constexpr const char* kFormat = "ONE connectivity report";
+
+bool parse_int(const std::string& token, std::int64_t& out) {
+  if (token.empty()) return false;
+  std::size_t pos = 0;
+  try {
+    out = std::stoll(token, &pos);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return pos == token.size();
+}
+
+class OneReader final : public TraceReader {
+ public:
+  const char* format_name() const override { return "one"; }
+
+  bool sniff(const std::string& head) const override {
+    return head.find(" CONN ") != std::string::npos ||
+           head.find("\tCONN\t") != std::string::npos;
+  }
+
+  ContactTrace read(std::istream& in, const std::string& trace_name,
+                    const std::string& source_name,
+                    const TraceReadOptions& options) const override {
+    struct RawContact {
+      Time start, end;
+      std::int64_t a, b;
+    };
+    std::vector<RawContact> contacts;
+    // Open link per raw (min, max) pair -> start time.
+    std::map<std::pair<std::int64_t, std::int64_t>, Time> open;
+    NodeIdMap ids;
+    Time last_time = 0.0;
+    bool any_line = false;
+
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty() || line[0] == '#') continue;
+      DTN_COUNT_N(kTraceBytesRead, line.size() + 1);
+      std::istringstream cells(line);
+      std::string time_token, kind, a_token, b_token, state;
+      cells >> time_token >> kind >> a_token >> b_token >> state;
+      if (kind != "CONN") {
+        if (options.strict) {
+          parse_error(source_name, line_no, kFormat,
+                      "expected '<time> CONN <a> <b> up|down'");
+        }
+        continue;  // other ONE report event types are not contacts
+      }
+      any_line = true;
+      Time when = 0.0;
+      try {
+        when = std::stod(time_token);
+      } catch (const std::exception&) {
+        parse_error(source_name, line_no, kFormat,
+                    "malformed timestamp '" + time_token + "'");
+      }
+      if (!std::isfinite(when)) {
+        parse_error(source_name, line_no, kFormat, "non-finite timestamp");
+      }
+      std::int64_t a = 0, b = 0;
+      if (!parse_int(a_token, a) || !parse_int(b_token, b)) {
+        parse_error(source_name, line_no, kFormat,
+                    "malformed host id in '" + line + "'");
+      }
+      if (a == b) {
+        if (options.strict) {
+          parse_error(source_name, line_no, kFormat, "self-contact (a == b)");
+        }
+        continue;
+      }
+      last_time = std::max(last_time, when);
+      const std::pair<std::int64_t, std::int64_t> key{std::min(a, b),
+                                                      std::max(a, b)};
+      if (state == "up") {
+        ids.note(a);
+        ids.note(b);
+        const auto [it, inserted] = open.emplace(key, when);
+        if (!inserted) {
+          if (options.strict) {
+            parse_error(source_name, line_no, kFormat,
+                        "duplicate 'up' for an already-open link");
+          }
+          // Keep the earlier start: the link has been up the whole time.
+          (void)it;
+        }
+      } else if (state == "down") {
+        const auto it = open.find(key);
+        if (it == open.end()) {
+          if (options.strict) {
+            parse_error(source_name, line_no, kFormat,
+                        "'down' without a matching 'up'");
+          }
+          continue;
+        }
+        if (when < it->second) {
+          parse_error(source_name, line_no, kFormat,
+                      "link goes down before it came up");
+        }
+        contacts.push_back({it->second, when, a, b});
+        open.erase(it);
+      } else {
+        parse_error(source_name, line_no, kFormat,
+                    "link state must be 'up' or 'down', got '" + state + "'");
+      }
+    }
+    if (!any_line) {
+      parse_error(source_name, 1, kFormat, "no CONN events in input");
+    }
+    // Links still up when the report ends lasted until the last timestamp.
+    for (const auto& [key, start] : open) {
+      contacts.push_back({start, std::max(last_time, start), key.first,
+                          key.second});
+    }
+
+    ids.finalize();
+    std::vector<ContactEvent> events;
+    events.reserve(contacts.size());
+    for (const RawContact& c : contacts) {
+      ContactEvent e;
+      e.start = c.start;
+      e.duration = c.end - c.start;
+      e.a = ids.dense(c.a);
+      e.b = ids.dense(c.b);
+      events.push_back(e);
+      DTN_COUNT(kTraceContactsDecoded);
+    }
+    const NodeId node_count =
+        std::max(options.min_node_count, ids.node_count());
+    return ContactTrace(node_count, std::move(events), trace_name);
+  }
+};
+
+}  // namespace
+
+const TraceReader& one_reader() {
+  static const OneReader reader;
+  return reader;
+}
+
+}  // namespace dtn::traceio

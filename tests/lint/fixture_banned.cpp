@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <ctime>
+#include <filesystem>
 #include <random>
 #include <string>
 #include <unordered_map>
@@ -32,6 +33,12 @@ double banned_chrono_now() {
   (void)t0;
   (void)t1;
   return 0.0;
+}
+
+// fs-mtime: file timestamps leaking into behavior.
+long banned_fs_mtime() {
+  const auto stamp = std::filesystem::last_write_time("trace.csv");
+  return stamp.time_since_epoch().count();
 }
 
 // unordered-fold: hash-order iteration inside a CSV-writing function.

@@ -93,5 +93,56 @@ TEST(TraceIo, LoadMissingFileThrows) {
                std::runtime_error);
 }
 
+// ---- parse diagnostics (file:line context) and strict mode ------------
+
+std::string error_of(const std::string& text, const CsvParseOptions& options) {
+  std::stringstream in(text);
+  try {
+    read_trace_csv(in, "trace", 0, options);
+  } catch (const std::runtime_error& error) {
+    return error.what();
+  }
+  return "";
+}
+
+TEST(TraceIo, ParseErrorsCarrySourceAndLine) {
+  CsvParseOptions options;
+  options.source_name = "contacts.csv";
+  const std::string what =
+      error_of("start,duration,a,b\n1,2,0,1\n1.5,10,0\n", options);
+  EXPECT_NE(what.find("contacts.csv:3:"), std::string::npos) << what;
+  EXPECT_NE(what.find("1.5,10,0"), std::string::npos) << what;
+}
+
+TEST(TraceIo, SourceNameDefaultsToTraceName) {
+  const std::string what = error_of("bogus line\n", {});
+  EXPECT_NE(what.find("trace:1:"), std::string::npos) << what;
+}
+
+TEST(TraceIo, InvalidValuesRejectedWithContext) {
+  EXPECT_NE(error_of("1,-2,0,1\n", {}).find("negative contact duration"),
+            std::string::npos);
+  EXPECT_NE(error_of("1,2,3,3\n", {}).find("self-contact"),
+            std::string::npos);
+  EXPECT_NE(error_of("1,2,-1,3\n", {}).find("negative node id"),
+            std::string::npos);
+  // iostreams refuse "nan" outright, so it fails as a malformed field —
+  // the point is that it is rejected, with line context.
+  EXPECT_NE(error_of("nan,2,0,1\n", {}).find("trace:1:"), std::string::npos);
+}
+
+TEST(TraceIo, StrictModeRejectsTrailingFields) {
+  const std::string with_extra = "1,2,0,1,99\n";
+  std::stringstream tolerant(with_extra);
+  EXPECT_EQ(read_trace_csv(tolerant).size(), 1u);
+
+  CsvParseOptions strict;
+  strict.strict = true;
+  strict.source_name = "export.csv";
+  const std::string what = error_of(with_extra, strict);
+  EXPECT_NE(what.find("export.csv:1:"), std::string::npos) << what;
+  EXPECT_NE(what.find("trailing characters"), std::string::npos) << what;
+}
+
 }  // namespace
 }  // namespace dtn

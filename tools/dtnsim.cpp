@@ -17,12 +17,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/instrument.h"
 #include "common/table.h"
 #include "experiment/experiment.h"
 #include "trace/mobility.h"
 #include "trace/synthetic.h"
-#include "trace/trace_io.h"
+#include "traceio/cache.h"
 
 using namespace dtn;
 
@@ -30,6 +32,8 @@ namespace {
 
 struct CliOptions {
   std::string trace = "mitreality";
+  std::string trace_format;    // empty = sniff from content/extension
+  bool no_trace_cache = false;
   double days = 0.0;           // 0 = preset default
   int nodes = 40;              // rwp only
   std::vector<std::string> schemes{"all"};
@@ -52,7 +56,11 @@ struct CliOptions {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --trace NAME     infocom05|infocom06|mitreality|ucsd|rwp|<file.csv>\n"
+      "  --trace NAME     infocom05|infocom06|mitreality|ucsd|rwp or a trace\n"
+      "                   file (CSV, ONE report, iMote log or .dtntrace;\n"
+      "                   format auto-detected)\n"
+      "  --trace-format F force the trace file format: csv|one|imote|binary\n"
+      "  --no-trace-cache do not read or write the .dtntrace sidecar cache\n"
       "  --days D         limit/define the trace duration in days\n"
       "  --nodes N        node count (rwp trace only)\n"
       "  --scheme LIST    comma list of ncl,nocache,random,cachedata,bundle\n"
@@ -96,6 +104,10 @@ CliOptions parse(int argc, char** argv) {
     const std::string flag = argv[i];
     if (flag == "--trace") {
       options.trace = next_value(i);
+    } else if (flag == "--trace-format") {
+      options.trace_format = next_value(i);
+    } else if (flag == "--no-trace-cache") {
+      options.no_trace_cache = true;
     } else if (flag == "--days") {
       options.days = std::atof(next_value(i));
     } else if (flag == "--nodes") {
@@ -173,7 +185,11 @@ ContactTrace build_trace(const CliOptions& options) {
     config.seed = options.seed;
     return generate_mobility_trace(config, "rwp");
   }
-  return load_trace_csv(options.trace);
+  traceio::LoadOptions load;
+  load.format = options.trace_format;
+  load.cache = options.no_trace_cache ? traceio::CachePolicy::kBypass
+                                      : traceio::CachePolicy::kUse;
+  return traceio::load_trace_any(options.trace, load);
 }
 
 double default_lifetime_hours(const ContactTrace& trace) {
@@ -203,9 +219,11 @@ int main(int argc, char** argv) {
     kinds.push_back(*kind);
   }
 
-  ContactTrace trace;
+  // Parse (or generate) once; everything below shares the same immutable
+  // instance.
+  std::shared_ptr<const ContactTrace> trace;
   try {
-    trace = build_trace(options);
+    trace = std::make_shared<const ContactTrace>(build_trace(options));
   } catch (const std::exception& error) {
     std::fprintf(stderr, "cannot build trace '%s': %s\n",
                  options.trace.c_str(), error.what());
@@ -215,7 +233,7 @@ int main(int argc, char** argv) {
   ExperimentConfig config;
   config.avg_lifetime =
       hours(options.tl_hours > 0 ? options.tl_hours
-                                 : default_lifetime_hours(trace));
+                                 : default_lifetime_hours(*trace));
   config.avg_data_size = megabits(options.size_mb);
   config.zipf_exponent = options.zipf;
   config.ncl_count = options.k;
@@ -252,7 +270,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const TraceSummary summary = summarize(trace);
+  const TraceSummary summary = summarize(*trace);
   if (!options.csv) {
     std::printf("trace %s: %d nodes, %zu contacts, %.1f days; T_L=%s, "
                 "s_avg=%.0fMb, K=%d, reps=%d\n\n",
@@ -264,8 +282,7 @@ int main(int argc, char** argv) {
 
   TextTable table({"scheme", "success_ratio", "delay_hours", "copies_per_item",
                    "queries", "replacement_overhead"});
-  for (SchemeKind kind : kinds) {
-    const ExperimentResult r = run_experiment(trace, kind, config);
+  for (const ExperimentResult& r : run_comparison(trace, kinds, config)) {
     table.begin_row();
     table.add_cell(r.scheme);
     table.add_number(r.success_ratio.mean(), 4);

@@ -13,6 +13,9 @@ nondeterminism, so this lint greps src/ for the constructs that break it:
   wall-clock-seed    time(nullptr) / time(NULL) / time(0)
   chrono-now         std::chrono::*_clock::now() — wall/steady clock reads
                      outside designated timing code (see allowlist)
+  fs-mtime           filesystem last_write_time() — file timestamps vary
+                     across checkouts/copies; only cache-freshness probing
+                     whose outcome cannot change results may read them
   unordered-fold     range-for over a std::unordered_map/std::unordered_set
                      inside a function that writes CSV or folds statistics —
                      iteration order is implementation-defined, so the folded
@@ -71,6 +74,13 @@ TOKEN_RULES = [
         re.compile(r"(?:std::chrono::\w+_clock|\b\w+_clock)::now\s*\("),
         "clock reads are nondeterministic; keep them out of simulation and "
         "statistics code (allowlist genuine timing/progress call sites)",
+    ),
+    (
+        "fs-mtime",
+        re.compile(r"\blast_write_time\s*\("),
+        "file mtimes differ across checkouts and copies; results must never "
+        "depend on them (allowlist observation-only cache-freshness probes "
+        "whose worst case is an extra re-parse of identical bytes)",
     ),
 ]
 

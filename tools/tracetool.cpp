@@ -1,0 +1,266 @@
+// tracetool — inspect, convert and validate contact traces.
+//
+// Subcommands:
+//   stats <file>           Table-I-style summary plus contact-duration and
+//                          inter-contact percentiles
+//   convert <in> <out>     read any supported format, write .dtntrace or
+//                          CSV (chosen by the output extension)
+//   validate <file>        strict parse with file:line diagnostics; exit 0
+//                          only when the file is flawless
+//   --self-test            in-memory round-trip checks (registered in ctest)
+//
+// Input formats are sniffed from content (CSV, ONE connectivity report,
+// iMote pairwise log, .dtntrace binary); --format forces one. tracetool
+// never touches sidecar caches unless --cache is given, so it is safe to
+// point at read-only datasets.
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "trace/trace_io.h"
+#include "traceio/binary.h"
+#include "traceio/cache.h"
+#include "traceio/cursor.h"
+#include "traceio/reader.h"
+
+using namespace dtn;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: tracetool <command> [options]\n"
+      "  tracetool stats <file>         print a trace summary\n"
+      "  tracetool convert <in> <out>   convert between formats; the output\n"
+      "                                 extension picks .dtntrace or CSV\n"
+      "  tracetool validate <file>      strict parse, file:line diagnostics\n"
+      "  tracetool --self-test          run built-in round-trip checks\n"
+      "options:\n"
+      "  --format F   force the input format: csv|one|imote|binary\n"
+      "  --cache      allow the .dtntrace sidecar cache (default: bypass)\n"
+      "  --strict     strict parsing for stats/convert (validate always is)\n");
+  std::exit(2);
+}
+
+struct ToolOptions {
+  std::string command;
+  std::vector<std::string> paths;
+  std::string format;
+  bool use_cache = false;
+  bool strict = false;
+};
+
+ToolOptions parse_args(int argc, char** argv) {
+  ToolOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--format") {
+      if (i + 1 >= argc) usage();
+      options.format = argv[++i];
+    } else if (arg == "--cache") {
+      options.use_cache = true;
+    } else if (arg == "--strict") {
+      options.strict = true;
+    } else if (arg == "--self-test") {
+      options.command = "self-test";
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else if (options.command.empty()) {
+      options.command = arg;
+    } else {
+      options.paths.push_back(arg);
+    }
+  }
+  if (options.command.empty()) usage();
+  return options;
+}
+
+ContactTrace load(const ToolOptions& options, const std::string& path) {
+  traceio::LoadOptions load_options;
+  load_options.format = options.format;
+  load_options.read.strict = options.strict;
+  load_options.cache = options.use_cache ? traceio::CachePolicy::kUse
+                                         : traceio::CachePolicy::kBypass;
+  return traceio::load_trace_any(path, load_options);
+}
+
+void print_percentiles(const char* label, std::vector<double> samples) {
+  if (samples.empty()) {
+    std::printf("%s: none\n", label);
+    return;
+  }
+  std::printf("%s: p50 %.1fs  p90 %.1fs  p99 %.1fs\n", label,
+              percentile(samples, 0.50), percentile(samples, 0.90),
+              percentile(samples, 0.99));
+}
+
+int cmd_stats(const ToolOptions& options) {
+  if (options.paths.size() != 1) usage();
+  const ContactTrace trace = load(options, options.paths[0]);
+  const TraceSummary summary = summarize(trace);
+
+  std::printf("name:               %s\n", summary.name.c_str());
+  std::printf("devices:            %d\n", summary.devices);
+  std::printf("contacts:           %zu\n", summary.internal_contacts);
+  std::printf("span:               %.1f .. %.1f s (%.2f days)\n",
+              trace.start_time(), trace.end_time(), summary.duration_days);
+  std::printf("pairwise frequency: %.3f contacts/pair/day (met pairs)\n",
+              summary.pairwise_contact_frequency_per_day);
+  std::printf("pair coverage:      %.1f%% of pairs ever met\n",
+              100.0 * summary.pair_coverage);
+
+  std::vector<double> durations;
+  std::vector<double> gaps;
+  durations.reserve(trace.events().size());
+  double prev_start = trace.start_time();
+  double total_contact_time = 0.0;
+  for (const ContactEvent& e : trace.events()) {
+    durations.push_back(e.duration);
+    total_contact_time += e.duration;
+    if (e.start > prev_start) gaps.push_back(e.start - prev_start);
+    prev_start = e.start;
+  }
+  std::printf("total contact time: %.1f hours\n", total_contact_time / 3600.0);
+  print_percentiles("contact duration  ", std::move(durations));
+  print_percentiles("inter-contact gap ", std::move(gaps));
+  return 0;
+}
+
+int cmd_convert(const ToolOptions& options) {
+  if (options.paths.size() != 2) usage();
+  const std::string& in_path = options.paths[0];
+  const std::string& out_path = options.paths[1];
+  const ContactTrace trace = load(options, in_path);
+  const bool binary_out =
+      out_path.size() >= 9 &&
+      out_path.compare(out_path.size() - 9, 9, ".dtntrace") == 0;
+  if (binary_out) {
+    traceio::save_trace_binary(trace, out_path);
+  } else {
+    save_trace_csv(trace, out_path);
+  }
+  std::printf("%s: %d nodes, %zu contacts -> %s (%s)\n", in_path.c_str(),
+              trace.node_count(), trace.events().size(), out_path.c_str(),
+              binary_out ? "binary" : "csv");
+  return 0;
+}
+
+int cmd_validate(const ToolOptions& options) {
+  if (options.paths.size() != 1) usage();
+  ToolOptions strict = options;
+  strict.strict = true;
+  strict.use_cache = false;  // validate must read the file itself
+  const ContactTrace trace = load(strict, options.paths[0]);
+  std::printf("%s: OK (%d nodes, %zu contacts, %.2f days)\n",
+              options.paths[0].c_str(), trace.node_count(),
+              trace.events().size(), trace.duration() / 86400.0);
+  return 0;
+}
+
+// ---- self test --------------------------------------------------------
+
+#define TT_CHECK(cond)                                                   \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "self-test failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                     \
+      return 1;                                                          \
+    }                                                                    \
+  } while (0)
+
+ContactTrace self_test_trace() {
+  std::vector<ContactEvent> events;
+  events.push_back({10.0, 120.5, 0, 3});
+  events.push_back({10.0, 30.0, 1, 2});
+  events.push_back({400.25, 60.0, 0, 1});
+  events.push_back({1000.0, 5.0, 2, 3});
+  return ContactTrace(5, std::move(events), "selftest");
+}
+
+int run_self_test() {
+  const ContactTrace trace = self_test_trace();
+
+  // CSV text round-trip: write, re-read, write again — byte-identical.
+  std::ostringstream csv1;
+  write_trace_csv(trace, csv1);
+  std::istringstream csv_in(csv1.str());
+  const ContactTrace csv_back =
+      read_trace_csv(csv_in, trace.name(), trace.node_count());
+  std::ostringstream csv2;
+  write_trace_csv(csv_back, csv2);
+  TT_CHECK(csv1.str() == csv2.str());
+
+  // Binary round-trip preserves every field exactly.
+  std::ostringstream bin;
+  traceio::write_trace_binary(trace, bin);
+  std::istringstream bin_in(bin.str());
+  const ContactTrace bin_back =
+      traceio::read_trace_binary(bin_in, "selftest.dtntrace");
+  TT_CHECK(bin_back.name() == trace.name());
+  TT_CHECK(bin_back.node_count() == trace.node_count());
+  TT_CHECK(bin_back.events() == trace.events());
+
+  // A flipped payload byte must be rejected, not silently accepted.
+  std::string corrupt = bin.str();
+  corrupt.back() = static_cast<char>(corrupt.back() ^ 0x01);
+  std::istringstream corrupt_in(corrupt);
+  bool threw = false;
+  try {
+    traceio::read_trace_binary(corrupt_in, "corrupt.dtntrace");
+  } catch (const std::exception&) {
+    threw = true;
+  }
+  TT_CHECK(threw);
+
+  // ONE connectivity report: up/down pairs become contacts.
+  std::istringstream one_in(
+      "0.0 CONN 7 3 up\n10.0 CONN 7 3 down\n5.0 CONN 3 9 up\n"
+      "25.0 CONN 3 9 down\n");
+  const traceio::TraceReader* one = traceio::reader_for_format("one");
+  TT_CHECK(one != nullptr);
+  const ContactTrace one_trace = one->read(one_in, "one", "one.txt", {});
+  TT_CHECK(one_trace.node_count() == 3);  // raw {3,7,9} -> dense {0,1,2}
+  TT_CHECK(one_trace.events().size() == 2);
+
+  // iMote log: overlapping sightings merge, clocks normalize to t=0.
+  std::istringstream imote_in("20 30 100 160\n20 30 150 200\n41 20 120 130\n");
+  const traceio::TraceReader* imote = traceio::reader_for_format("imote");
+  TT_CHECK(imote != nullptr);
+  const ContactTrace imote_trace =
+      imote->read(imote_in, "imote", "imote.txt", {});
+  TT_CHECK(imote_trace.events().size() == 2);
+  TT_CHECK(imote_trace.start_time() == 0.0);
+
+  // Streaming cursor == materialized vector.
+  std::istringstream bin_in2(bin.str());
+  traceio::BinaryDecoder decoder(bin_in2, "selftest.dtntrace");
+  ContactEvent event;
+  std::vector<ContactEvent> streamed;
+  while (decoder.next(event)) streamed.push_back(event);
+  TT_CHECK(streamed == trace.events());
+
+  std::printf("tracetool self-test: OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ToolOptions options = parse_args(argc, argv);
+  try {
+    if (options.command == "stats") return cmd_stats(options);
+    if (options.command == "convert") return cmd_convert(options);
+    if (options.command == "validate") return cmd_validate(options);
+    if (options.command == "self-test") return run_self_test();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "tracetool: %s\n", error.what());
+    return 1;
+  }
+  std::fprintf(stderr, "tracetool: unknown command '%s'\n",
+               options.command.c_str());
+  usage();
+}
