@@ -33,6 +33,9 @@ constexpr std::array<const char*, kCounterCount> kCounterNames = {
     "trace_bytes_read",
     "trace_cache_hits",
     "trace_cache_misses",
+    "path_scratch_reuses",
+    "path_bytes_not_allocated",
+    "parent_chain_walks",
 };
 
 constexpr std::array<const char*, kTimerCount> kTimerNames = {

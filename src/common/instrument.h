@@ -59,6 +59,9 @@ enum class Counter : int {
   kTraceBytesRead,              ///< bytes consumed by trace ingestion
   kTraceCacheHits,              ///< fresh .dtntrace sidecar loads
   kTraceCacheMisses,            ///< text parses with caching enabled
+  kPathScratchReuses,           ///< relaxations served from workspace scratch
+  kPathBytesNotAllocated,       ///< bytes the legacy per-relaxation copy used
+  kParentChainWalks,            ///< rate chains materialized via next_hop walk
   kCount
 };
 

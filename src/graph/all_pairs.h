@@ -24,9 +24,11 @@ class AllPairsPaths {
   /// independent, so they run on the shared thread pool (`threads` follows
   /// resolve_threads semantics: 0 = hardware_concurrency, 1 = serial).
   /// Each table is written into its preallocated slot, so the result is
-  /// bit-identical for every thread count.
+  /// bit-identical for every thread count — and, by the golden test, for
+  /// either engine (`PathEngine::kReference` re-runs the legacy allocating
+  /// construction; production callers never pass it).
   AllPairsPaths(const ContactGraph& graph, Time horizon, int max_hops = 8,
-                int threads = 0);
+                int threads = 0, PathEngine engine = PathEngine::kFast);
 
   NodeId node_count() const { return static_cast<NodeId>(tables_.size()); }
   bool empty() const { return tables_.empty(); }
@@ -42,6 +44,14 @@ class AllPairsPaths {
   /// Weight of the same path re-evaluated at a different time budget
   /// (used for p_CR(T_q - t_0)). Falls back to 0 when unreachable.
   double weight_at(NodeId from, NodeId to, Time budget) const;
+
+  /// Batched weight_at: evaluates every (from, to) pair at `budget` into
+  /// `out[i]` (resized to match). One destination table, one scratch chain,
+  /// one hypoexp workspace for the whole sweep — this is the form
+  /// weight_at-heavy metric loops should use. out[i] is bit-identical to
+  /// weight_at(from_list[i], to, budget).
+  void weights_at(const std::vector<NodeId>& from_list, NodeId to, Time budget,
+                  std::vector<double>& out) const;
 
  private:
   std::vector<PathTable> tables_;

@@ -17,11 +17,20 @@ void validate_rates(const std::vector<double>& rates) {
 }
 
 /// True when any two rates are close enough to make the partial-fraction
-/// coefficients numerically unreliable.
-bool has_near_equal_rates(std::vector<double> rates) {
-  std::sort(rates.begin(), rates.end());
-  for (std::size_t i = 1; i < rates.size(); ++i) {
-    if ((rates[i] - rates[i - 1]) <= 1e-6 * rates[i]) return true;
+/// coefficients numerically unreliable. The two-rate case dominates the
+/// path engine (short opportunistic paths) and needs no sorted copy at
+/// all: min/max of two elements reproduces the sorted comparison exactly.
+bool has_near_equal_rates(const std::vector<double>& rates,
+                          HypoexpWorkspace& ws) {
+  if (rates.size() == 2) {
+    const double lo = std::min(rates[0], rates[1]);
+    const double hi = std::max(rates[0], rates[1]);
+    return (hi - lo) <= 1e-6 * hi;
+  }
+  ws.sorted.assign(rates.begin(), rates.end());
+  std::sort(ws.sorted.begin(), ws.sorted.end());
+  for (std::size_t i = 1; i < ws.sorted.size(); ++i) {
+    if ((ws.sorted[i] - ws.sorted[i - 1]) <= 1e-6 * ws.sorted[i]) return true;
   }
   return false;
 }
@@ -75,7 +84,7 @@ double hypoexp_cdf_closed_form(const std::vector<double>& rates, double t) {
 }
 
 double hypoexp_cdf_uniformization(const std::vector<double>& rates, double t,
-                                  double tolerance) {
+                                  HypoexpWorkspace& ws, double tolerance) {
   validate_rates(rates);
   if (rates.empty()) return t >= 0.0 ? 1.0 : 0.0;
   if (t <= 0.0) return 0.0;
@@ -84,11 +93,12 @@ double hypoexp_cdf_uniformization(const std::vector<double>& rates, double t,
   const std::size_t r = rates.size();
   const double big_lambda = *std::max_element(rates.begin(), rates.end());
   const double a = big_lambda * t;
+  const double log_a = std::log(a);  // loop-invariant
 
-  // v[k] = probability of being in transient phase k after m uniformized
+  // ws.v[k] = probability of being in transient phase k after m uniformized
   // jumps; `absorbed` = probability of having completed all phases.
-  std::vector<double> v(r, 0.0);
-  v[0] = 1.0;
+  ws.v.assign(r, 0.0);
+  ws.v[0] = 1.0;
   double absorbed = 0.0;
 
   // Poisson(a) pmf computed iteratively. Start from m = 0.
@@ -104,23 +114,25 @@ double hypoexp_cdf_uniformization(const std::vector<double>& rates, double t,
     const double pois = std::exp(log_pois);
     result += pois * absorbed;
     tail -= pois;
-    if (tail * 1.0 <= tolerance || m >= max_terms) break;
+    // The neglected terms contribute at most `tail` (absorbed-probability
+    // is <= 1), so `tail` alone bounds the truncation error.
+    if (tail <= tolerance || m >= max_terms) break;
 
-    // One uniformized jump.
-    std::vector<double> next(r, 0.0);
+    // One uniformized jump, ping-ponging between ws.v and ws.next.
+    ws.next.assign(r, 0.0);
     for (std::size_t k = 0; k < r; ++k) {
-      if (v[k] == 0.0) continue;
+      if (ws.v[k] == 0.0) continue;
       const double p_move = rates[k] / big_lambda;
       if (k + 1 < r) {
-        next[k + 1] += v[k] * p_move;
+        ws.next[k + 1] += ws.v[k] * p_move;
       } else {
-        absorbed += v[k] * p_move;
+        absorbed += ws.v[k] * p_move;
       }
-      next[k] += v[k] * (1.0 - p_move);
+      ws.next[k] += ws.v[k] * (1.0 - p_move);
     }
-    v = std::move(next);
+    ws.v.swap(ws.next);
 
-    log_pois += std::log(a) - std::log(static_cast<double>(m + 1));
+    log_pois += log_a - std::log(static_cast<double>(m + 1));
   }
   // The neglected tail has absorbed-probability <= 1, so `result` may be
   // short by at most `tail`. Add nothing; clamp for safety.
@@ -128,7 +140,14 @@ double hypoexp_cdf_uniformization(const std::vector<double>& rates, double t,
   return std::clamp(result, 0.0, 1.0);
 }
 
-double hypoexp_cdf(const std::vector<double>& rates, double t) {
+double hypoexp_cdf_uniformization(const std::vector<double>& rates, double t,
+                                  double tolerance) {
+  HypoexpWorkspace ws;
+  return hypoexp_cdf_uniformization(rates, t, ws, tolerance);
+}
+
+double hypoexp_cdf(const std::vector<double>& rates, double t,
+                   HypoexpWorkspace& ws) {
   validate_rates(rates);
   if (rates.empty()) return t >= 0.0 ? 1.0 : 0.0;
   if (t <= 0.0) return 0.0;
@@ -141,13 +160,132 @@ double hypoexp_cdf(const std::vector<double>& rates, double t) {
     if (std::all_of(rates.begin(), rates.end(),
                     [&](double x) { return x == first; })) {
       result = erlang_cdf(static_cast<int>(rates.size()), first, t);
-    } else if (has_near_equal_rates(rates)) {
-      result = hypoexp_cdf_uniformization(rates, t);
+    } else if (has_near_equal_rates(rates, ws)) {
+      result = hypoexp_cdf_uniformization(rates, t, ws);
     } else {
       result = hypoexp_cdf_closed_form(rates, t);
     }
   }
   // Eq. 2: an opportunistic path weight is P(sum of exp stages <= T).
+  DTN_CHECK_PROB(result);
+  return result;
+}
+
+double hypoexp_cdf(const std::vector<double>& rates, double t) {
+  HypoexpWorkspace ws;
+  return hypoexp_cdf(rates, t, ws);
+}
+
+void HypoexpAppendEvaluator::reset(const double* prefix, std::size_t p,
+                                   double t) {
+  for (std::size_t i = 0; i < p; ++i) {
+    if (!(prefix[i] > 0.0)) {
+      throw std::invalid_argument("hypoexp rates must be > 0");
+    }
+  }
+  t_ = t;
+  p_ = p;
+  all_equal_ = true;
+  equal_value_ = p > 0 ? prefix[0] : 0.0;
+  for (std::size_t i = 1; i < p; ++i) {
+    if (prefix[i] != equal_value_) {
+      all_equal_ = false;
+      break;
+    }
+  }
+
+  sorted_.assign(prefix, prefix + p);
+  std::sort(sorted_.begin(), sorted_.end());
+  force_uniformization_ = false;
+  for (std::size_t i = 1; i < p; ++i) {
+    if ((sorted_[i] - sorted_[i - 1]) <= 1e-6 * sorted_[i]) {
+      // Any appended x keeps a near-equal adjacent pair: x either leaves
+      // this pair adjacent, or lands inside it, in which case the upper
+      // sub-gap sorted_[i] - x <= the original gap <= 1e-6 * sorted_[i].
+      force_uniformization_ = true;
+      break;
+    }
+  }
+
+  // Closed-form precomputation: only reachable when the prefix is strictly
+  // distinct and not near-equal (otherwise every eval dispatches to Erlang
+  // or uniformization), so the denominators below are bounded away from 0.
+  partial_.resize(p);
+  one_minus_exp_.resize(p);
+  if (force_uniformization_ || (all_equal_ && p >= 2)) return;
+  for (std::size_t k = 0; k < p; ++k) {
+    double coeff = 1.0;
+    for (std::size_t s = 0; s < p; ++s) {
+      if (s == k) continue;
+      coeff *= prefix[s] / (prefix[s] - prefix[k]);
+    }
+    partial_[k] = coeff;
+    one_minus_exp_[k] = 1.0 - std::exp(-prefix[k] * t);
+  }
+}
+
+double HypoexpAppendEvaluator::eval(const std::vector<double>& chain,
+                                    HypoexpWorkspace& ws) const {
+  return eval_impl(chain, ws, nullptr);
+}
+
+double HypoexpAppendEvaluator::eval(const std::vector<double>& chain,
+                                    HypoexpWorkspace& ws,
+                                    double one_minus_exp_x) const {
+  return eval_impl(chain, ws, &one_minus_exp_x);
+}
+
+double HypoexpAppendEvaluator::eval_impl(const std::vector<double>& chain,
+                                         HypoexpWorkspace& ws,
+                                         const double* one_minus_exp_x) const {
+  const double x = chain.back();
+  if (!(x > 0.0)) throw std::invalid_argument("hypoexp rates must be > 0");
+  if (t_ <= 0.0) return 0.0;
+  const std::size_t r = p_ + 1;
+  // 1 - e^{-x t}: the only exp the closed form needs per append. Callers
+  // with an EdgeExpTable hand in the precomputed value — the identical
+  // expression, so the identical double.
+  const double e_x =
+      one_minus_exp_x ? *one_minus_exp_x : 1.0 - std::exp(-x * t_);
+
+  double result = 0.0;
+  if (r == 1) {
+    DTN_COUNT(kHypoexpSingleEvals);
+    result = std::clamp(e_x, 0.0, 1.0);
+  } else if (all_equal_ && x == equal_value_) {
+    result = erlang_cdf(static_cast<int>(r), equal_value_, t_);
+  } else if (force_uniformization_ ||
+             [&] {
+               // Near-equal probe by virtual insertion of x into the
+               // sorted prefix: only the two pairs adjacent to x can be
+               // new; every original pair is known not-near (else
+               // force_uniformization_). Same predicate, same bits, as
+               // sorting the full chain.
+               std::size_t j = 0;
+               while (j < p_ && sorted_[j] < x) ++j;
+               if (j > 0 && (x - sorted_[j - 1]) <= 1e-6 * x) return true;
+               if (j < p_ && (sorted_[j] - x) <= 1e-6 * sorted_[j]) return true;
+               return false;
+             }()) {
+    result = hypoexp_cdf_uniformization(chain, t_, ws);
+  } else {
+    DTN_COUNT(kHypoexpClosedFormEvals);
+    // The legacy coefficient loop multiplies factors in index order, so
+    // for k < p the appended rate's factor x/(x - λ_k) is exactly the
+    // final multiplication — partial_[k] holds everything before it.
+    double acc = 0.0;
+    for (std::size_t k = 0; k < p_; ++k) {
+      const double coeff = partial_[k] * (x / (x - chain[k]));
+      acc += coeff * one_minus_exp_[k];
+    }
+    double coeff = 1.0;
+    for (std::size_t s = 0; s < p_; ++s) {
+      coeff *= chain[s] / (chain[s] - x);
+    }
+    acc += coeff * e_x;
+    DTN_CHECK_FINITE(acc);
+    result = std::clamp(acc, 0.0, 1.0);
+  }
   DTN_CHECK_PROB(result);
   return result;
 }

@@ -20,6 +20,22 @@
 
 namespace dtn {
 
+/// Reusable scratch buffers for the hypoexponential evaluators. The
+/// dispatcher's near-equal-rates probe needs a sorted copy of the rates and
+/// uniformization needs two per-phase probability buffers; with a workspace
+/// those live in caller-owned vectors that amortize to zero heap traffic
+/// across evaluations (the path engine's inner loop evaluates millions of
+/// CDFs per all-pairs build). A workspace carries no results — only
+/// capacity — so reusing one across calls, threads permitting, is purely a
+/// performance knob: every overload below returns bit-identical values with
+/// a fresh or a recycled workspace. One workspace per thread; sharing one
+/// across concurrent calls is a data race.
+struct HypoexpWorkspace {
+  std::vector<double> sorted;  ///< near-equal-rates probe scratch
+  std::vector<double> v;       ///< uniformization phase probabilities
+  std::vector<double> next;    ///< uniformization ping-pong buffer
+};
+
 /// CDF of the sum of independent exponentials with the given rates,
 /// evaluated at t. All rates must be > 0; throws std::invalid_argument
 /// otherwise. An empty rate list is the sum of zero variables, i.e. the
@@ -27,6 +43,12 @@ namespace dtn {
 ///
 /// The result is clamped to [0, 1].
 double hypoexp_cdf(const std::vector<double>& rates, double t);
+
+/// Workspace form of hypoexp_cdf: identical dispatch, identical bits, zero
+/// allocations once `ws` has warmed up. The allocating overload above is a
+/// thin wrapper over this one with a fresh workspace.
+double hypoexp_cdf(const std::vector<double>& rates, double t,
+                   HypoexpWorkspace& ws);
 
 /// Erlang CDF: sum of `shape` exponentials with common `rate`.
 /// Exposed separately for testing; shape >= 1, rate > 0.
@@ -41,7 +63,66 @@ double hypoexp_cdf_closed_form(const std::vector<double>& rates, double t);
 double hypoexp_cdf_uniformization(const std::vector<double>& rates, double t,
                                   double tolerance = 1e-12);
 
+/// Workspace form of hypoexp_cdf_uniformization: same truncation, same
+/// bits, the per-jump ping-pong buffers live in `ws` instead of the heap.
+double hypoexp_cdf_uniformization(const std::vector<double>& rates, double t,
+                                  HypoexpWorkspace& ws,
+                                  double tolerance = 1e-12);
+
 /// Mean of the hypoexponential: sum of 1/rate.
 double hypoexp_mean(const std::vector<double>& rates);
+
+/// Incremental CDF evaluation for chains sharing a fixed prefix: after
+/// reset(prefix, t), eval(chain, ws) returns hypoexp_cdf(chain, t) for any
+/// chain = prefix + {x} — bit-identical to the dispatcher, per-eval cost
+/// O(r) instead of O(r²) + r exp() calls.
+///
+/// This exploits the shape of the path engine's relaxation loop: all edges
+/// out of a settled node extend the *same* rate chain by one hop, and the
+/// legacy closed form's coefficient loop multiplies factors in index order,
+/// so for every retained stage k the appended rate contributes exactly the
+/// final factor x/(x - λ_k). Precomputing the prefix partial products and
+/// the 1 - e^{-λ_k t} terms therefore reproduces the identical sequence of
+/// floating-point operations — same values, same rounding — with the
+/// prefix work hoisted out of the per-edge path. Dispatch tiers are decided
+/// exactly as the dispatcher would: the Erlang check compares x against the
+/// prefix's common rate, and the near-equal probe inserts x into the
+/// pre-sorted prefix (a prefix that already has a near-equal or duplicate
+/// pair forces uniformization for every x, because inserting x either
+/// leaves that pair adjacent or splits it into two at-least-as-near pairs).
+///
+/// Not thread-safe; one evaluator per thread (it lives in PathWorkspace).
+class HypoexpAppendEvaluator {
+ public:
+  /// Fixes the prefix (first `p` elements of `prefix`) and the time budget.
+  /// Throws std::invalid_argument when a prefix rate is not > 0, like
+  /// validate_rates would on the full chain.
+  void reset(const double* prefix, std::size_t p, double t);
+
+  /// CDF of the full chain at the reset-time budget. `chain` must be the
+  /// reset prefix plus the appended rate at chain.back(); `ws` is scratch
+  /// for the uniformization fallback.
+  double eval(const std::vector<double>& chain, HypoexpWorkspace& ws) const;
+
+  /// Same, with the appended rate's 1 - e^{-x t} term supplied by the
+  /// caller (an EdgeExpTable row). `one_minus_exp_x` must equal
+  /// 1.0 - std::exp(-chain.back() * t) for the reset-time t — the exact
+  /// double, not an approximation — or the bit-identity promise is void.
+  double eval(const std::vector<double>& chain, HypoexpWorkspace& ws,
+              double one_minus_exp_x) const;
+
+ private:
+  double eval_impl(const std::vector<double>& chain, HypoexpWorkspace& ws,
+                   const double* one_minus_exp_x) const;
+
+  double t_ = 0.0;
+  std::size_t p_ = 0;
+  bool all_equal_ = true;            ///< prefix rates all identical
+  double equal_value_ = 0.0;         ///< their common value (p >= 1)
+  bool force_uniformization_ = false;  ///< prefix alone is near-equal
+  std::vector<double> sorted_;         ///< prefix, ascending (probe input)
+  std::vector<double> partial_;        ///< per-k prefix coefficient products
+  std::vector<double> one_minus_exp_;  ///< per-k 1 - e^{-λ_k t}
+};
 
 }  // namespace dtn

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <cstdint>
 #include <queue>
 #include <stdexcept>
 
@@ -18,8 +20,24 @@ PathTable::PathTable(NodeId root, Time horizon, std::vector<Entry> entries)
   }
 }
 
-const PathTable::Entry& PathTable::entry(NodeId node) const {
-  return entries_.at(static_cast<std::size_t>(node));
+void PathTable::rates_to_root(NodeId node, std::vector<double>& out) const {
+  const Entry& e = entry(node);
+  out.resize(static_cast<std::size_t>(e.hops));
+  if (e.hops == 0) return;  // root or unreachable
+  DTN_COUNT(kParentChainWalks);
+  NodeId current = node;
+  for (int i = e.hops - 1; i >= 0; --i) {
+    const Entry& ec = entries_[static_cast<std::size_t>(current)];
+    out[static_cast<std::size_t>(i)] = ec.last_rate;
+    current = ec.next_hop;
+  }
+  DTN_CHECK(current == root_, "parent chain did not terminate at the root");
+}
+
+std::vector<double> PathTable::rates(NodeId node) const {
+  std::vector<double> out;
+  rates_to_root(node, out);
+  return out;
 }
 
 std::vector<NodeId> PathTable::path_to_root(NodeId node) const {
@@ -38,27 +56,185 @@ std::vector<NodeId> PathTable::path_to_root(NodeId node) const {
   return path;
 }
 
-PathTable compute_opportunistic_paths(const ContactGraph& graph, NodeId root,
-                                      Time horizon, int max_hops) {
-  const NodeId n = graph.node_count();
-  if (root < 0 || root >= n) throw std::invalid_argument("root out of range");
+namespace {
+
+struct QueueItem {
+  double weight;
+  NodeId node;
+  bool operator<(const QueueItem& other) const {
+    // max-heap on weight, deterministic tie-break on node id
+    if (weight != other.weight) return weight < other.weight;
+    return node > other.node;
+  }
+};
+
+void validate_dijkstra_args(const ContactGraph& graph, NodeId root,
+                            Time horizon, int max_hops) {
+  if (root < 0 || root >= graph.node_count()) {
+    throw std::invalid_argument("root out of range");
+  }
   if (!(horizon > 0.0)) throw std::invalid_argument("horizon must be > 0");
   if (max_hops < 1) throw std::invalid_argument("max_hops must be >= 1");
+}
+
+/// Fills chain[0..hops) with node's hop rates (root-adjacent hop first) by
+/// walking the parent chain, and leaves one extra slot at chain[hops] for
+/// the rate of the edge being relaxed. Same element order the legacy
+/// embedded-rates layout stored, so hypoexp_cdf sees identical input.
+void materialize_prefix(const std::vector<PathTable::Entry>& entries,
+                        NodeId node, int hops, std::vector<double>& chain) {
+  chain.resize(static_cast<std::size_t>(hops) + 1);
+  if (hops == 0) return;
+  DTN_COUNT(kParentChainWalks);
+  NodeId current = node;
+  for (int i = hops - 1; i >= 0; --i) {
+    const auto& e = entries[static_cast<std::size_t>(current)];
+    chain[static_cast<std::size_t>(i)] = e.last_rate;
+    current = e.next_hop;
+  }
+}
+
+PathTable run_fast_dijkstra(const ContactGraph& graph, NodeId root,
+                            Time horizon, int max_hops, PathWorkspace& ws,
+                            const EdgeExpTable* edge_exp) {
+  validate_dijkstra_args(graph, root, horizon, max_hops);
+  const NodeId n = graph.node_count();
   DTN_SCOPED_TIMER(kDijkstra);
 
   std::vector<PathTable::Entry> entries(static_cast<std::size_t>(n));
   entries[static_cast<std::size_t>(root)].weight = 1.0;  // empty path
   entries[static_cast<std::size_t>(root)].next_hop = root;
 
-  struct QueueItem {
-    double weight;
-    NodeId node;
-    bool operator<(const QueueItem& other) const {
-      // max-heap on weight, deterministic tie-break on node id
-      if (weight != other.weight) return weight < other.weight;
-      return node > other.node;
+  std::priority_queue<QueueItem> queue;
+  queue.push({1.0, root});
+  // uint8_t instead of vector<bool>: the settle test sits on every pop and
+  // every relaxation, and byte loads beat bit extraction there.
+  std::vector<std::uint8_t> settled(static_cast<std::size_t>(n), 0);
+
+  // Counter totals are the observable contract, not per-call granularity:
+  // accumulate locally and flush once per table, keeping atomic traffic
+  // out of the inner loop (the reference engine pays one fetch_add per
+  // relaxation; this one pays a handful per table). maybe_unused: with
+  // DTN_INSTRUMENT_OFF the flushes below compile to nothing (by contract
+  // they must not evaluate their argument) and the accumulation dead-codes
+  // away.
+  [[maybe_unused]] std::uint64_t settled_count = 0;
+  [[maybe_unused]] std::uint64_t relaxations = 0;
+  [[maybe_unused]] std::uint64_t bytes_not_allocated = 0;
+
+  while (!queue.empty()) {
+    const auto [weight, u] = queue.top();
+    queue.pop();
+    auto& eu = entries[static_cast<std::size_t>(u)];
+    if (settled[static_cast<std::size_t>(u)]) continue;
+    if (weight < eu.weight) continue;  // stale entry
+    settled[static_cast<std::size_t>(u)] = 1;
+    ++settled_count;
+    if (eu.hops >= max_hops) continue;
+
+    // u is settled, so its rate chain is final: materialize it once into
+    // the scratch prefix, fix the shared-prefix evaluator on it, and reuse
+    // both for every outgoing relaxation.
+    const std::size_t prefix = static_cast<std::size_t>(eu.hops);
+    materialize_prefix(entries, u, eu.hops, ws.chain);
+    ws.append.reset(ws.chain.data(), prefix, horizon);
+
+    const auto& neighbors = graph.neighbors(u);
+    const std::vector<double>* exp_row =
+        edge_exp ? &edge_exp->one_minus_exp[static_cast<std::size_t>(u)]
+                 : nullptr;
+    for (std::size_t idx = 0; idx < neighbors.size(); ++idx) {
+      const auto& nb = neighbors[idx];
+      auto& ev = entries[static_cast<std::size_t>(nb.node)];
+      if (settled[static_cast<std::size_t>(nb.node)]) continue;
+      ++relaxations;
+      // Bytes the legacy per-relaxation chain copy would have heap-allocated.
+      bytes_not_allocated += (prefix + 1) * sizeof(double);
+      ws.chain[prefix] = nb.rate;
+      const double candidate =
+          exp_row ? ws.append.eval(ws.chain, ws.hypoexp, (*exp_row)[idx])
+                  : ws.append.eval(ws.chain, ws.hypoexp);
+      DTN_CHECK_PROB(candidate);
+      // Appending an exponential stage strictly decreases P(sum <= T); the
+      // greedy exchange argument behind max-probability Dijkstra needs it.
+      // Tolerance: prefix and extended path may dispatch to different CDF
+      // algorithms (closed form / Erlang / uniformization), which disagree
+      // by a few ulps when both weights saturate towards 1.
+      DTN_CHECK_LE(candidate, eu.weight + 1e-9);
+      if (candidate > ev.weight) {
+        ev.weight = candidate;
+        ev.next_hop = u;
+        ev.hops = eu.hops + 1;
+        ev.last_rate = nb.rate;
+        queue.push({candidate, nb.node});
+      }
     }
-  };
+  }
+  DTN_COUNT_N(kDijkstraSettled, settled_count);
+  DTN_COUNT_N(kDijkstraRelaxations, relaxations);
+  DTN_COUNT_N(kPathScratchReuses, relaxations);
+  DTN_COUNT_N(kPathBytesNotAllocated, bytes_not_allocated);
+  DTN_COUNT(kPathTablesBuilt);
+  return PathTable(root, horizon, std::move(entries));
+}
+
+}  // namespace
+
+EdgeExpTable build_edge_exp_table(const ContactGraph& graph, Time horizon) {
+  EdgeExpTable table;
+  table.horizon = horizon;
+  const NodeId n = graph.node_count();
+  table.one_minus_exp.resize(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) {
+    const auto& neighbors = graph.neighbors(u);
+    auto& row = table.one_minus_exp[static_cast<std::size_t>(u)];
+    row.resize(neighbors.size());
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      row[i] = 1.0 - std::exp(-neighbors[i].rate * horizon);
+    }
+  }
+  return table;
+}
+
+PathTable compute_opportunistic_paths(const ContactGraph& graph, NodeId root,
+                                      Time horizon, int max_hops,
+                                      PathWorkspace& ws) {
+  return run_fast_dijkstra(graph, root, horizon, max_hops, ws, nullptr);
+}
+
+PathTable compute_opportunistic_paths(const ContactGraph& graph, NodeId root,
+                                      Time horizon, int max_hops,
+                                      PathWorkspace& ws,
+                                      const EdgeExpTable& edge_exp) {
+  DTN_CHECK(edge_exp.horizon == horizon,
+            "edge-exp table built for a different horizon");
+  DTN_CHECK(edge_exp.one_minus_exp.size() ==
+                static_cast<std::size_t>(graph.node_count()),
+            "edge-exp table built for a different graph");
+  return run_fast_dijkstra(graph, root, horizon, max_hops, ws, &edge_exp);
+}
+
+PathTable compute_opportunistic_paths(const ContactGraph& graph, NodeId root,
+                                      Time horizon, int max_hops) {
+  PathWorkspace ws;
+  return compute_opportunistic_paths(graph, root, horizon, max_hops, ws);
+}
+
+PathTable compute_opportunistic_paths_reference(const ContactGraph& graph,
+                                                NodeId root, Time horizon,
+                                                int max_hops) {
+  validate_dijkstra_args(graph, root, horizon, max_hops);
+  const NodeId n = graph.node_count();
+  DTN_SCOPED_TIMER(kDijkstra);
+
+  std::vector<PathTable::Entry> entries(static_cast<std::size_t>(n));
+  // The legacy layout embedded each entry's full rate chain; the reference
+  // engine keeps those chains in a side table so the relaxation loop below
+  // is a line-for-line transcription of the pre-workspace implementation.
+  std::vector<std::vector<double>> rate_chains(static_cast<std::size_t>(n));
+  entries[static_cast<std::size_t>(root)].weight = 1.0;  // empty path
+  entries[static_cast<std::size_t>(root)].next_hop = root;
+
   std::priority_queue<QueueItem> queue;
   queue.push({1.0, root});
   std::vector<bool> settled(static_cast<std::size_t>(n), false);
@@ -77,21 +253,17 @@ PathTable compute_opportunistic_paths(const ContactGraph& graph, NodeId root,
       auto& ev = entries[static_cast<std::size_t>(nb.node)];
       if (settled[static_cast<std::size_t>(nb.node)]) continue;
       DTN_COUNT(kDijkstraRelaxations);
-      std::vector<double> rates = eu.rates;
+      std::vector<double> rates = rate_chains[static_cast<std::size_t>(u)];
       rates.push_back(nb.rate);
       const double candidate = hypoexp_cdf(rates, horizon);
       DTN_CHECK_PROB(candidate);
-      // Appending an exponential stage strictly decreases P(sum <= T); the
-      // greedy exchange argument behind max-probability Dijkstra needs it.
-      // Tolerance: prefix and extended path may dispatch to different CDF
-      // algorithms (closed form / Erlang / uniformization), which disagree
-      // by a few ulps when both weights saturate towards 1.
       DTN_CHECK_LE(candidate, eu.weight + 1e-9);
       if (candidate > ev.weight) {
         ev.weight = candidate;
         ev.next_hop = u;
         ev.hops = eu.hops + 1;
-        ev.rates = std::move(rates);
+        ev.last_rate = nb.rate;
+        rate_chains[static_cast<std::size_t>(nb.node)] = std::move(rates);
         queue.push({candidate, nb.node});
       }
     }

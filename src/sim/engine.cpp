@@ -135,7 +135,8 @@ RunResult run_simulation(traceio::ContactCursor& contacts, NodeId node_count,
     services.set_now(now);
     services.set_paths(AllPairsPaths(
         estimator.snapshot(now, config.min_contacts_for_rate),
-        config.path_horizon, config.max_hops, config.threads));
+        config.path_horizon, config.max_hops, config.threads,
+        config.path_engine));
     if (!started) {
       scheme.on_start(services);
       started = true;

@@ -51,6 +51,12 @@ struct SimConfig {
   /// every value; this is purely a resource knob.
   int threads = 0;
 
+  /// Path-table construction engine. kFast is the production default;
+  /// kReference re-runs the legacy allocating construction. The two are
+  /// bit-identical (tests/path_golden_test.cpp), so this knob exists only
+  /// for golden comparisons and bench denominators.
+  PathEngine path_engine = PathEngine::kFast;
+
   // ---- failure injection ----
 
   /// Each contact is independently missed (failed discovery, interference)

@@ -113,7 +113,8 @@ TEST(Determinism, AllPairsPathsMatchesSerialConstruction) {
     for (NodeId node = 0; node < graph.node_count(); ++node) {
       EXPECT_EQ(a.entry(node).next_hop, b.entry(node).next_hop);
       EXPECT_EQ(a.entry(node).hops, b.entry(node).hops);
-      EXPECT_EQ(a.entry(node).rates, b.entry(node).rates);
+      EXPECT_EQ(a.entry(node).last_rate, b.entry(node).last_rate);
+      EXPECT_EQ(a.rates(node), b.rates(node));
     }
   }
 }

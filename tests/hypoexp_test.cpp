@@ -158,5 +158,79 @@ TEST_P(HypoexpCrossValidation, ClosedFormVsUniformization) {
 INSTANTIATE_TEST_SUITE_P(RandomRates, HypoexpCrossValidation,
                          testing::Range(1, 25));
 
+TEST_P(HypoexpCrossValidation, ErlangVsUniformization) {
+  // Equal rates sit in both Erlang's and uniformization's domain; the
+  // closed form is excluded (it requires strictly distinct rates).
+  Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  const int shape = 2 + GetParam() % 7;
+  const double rate = rng.uniform(0.05, 5.0);
+  const std::vector<double> rates(static_cast<std::size_t>(shape), rate);
+  for (double t : {0.2, 1.0, 4.0}) {
+    EXPECT_NEAR(erlang_cdf(shape, rate, t),
+                hypoexp_cdf_uniformization(rates, t), 1e-7)
+        << "shape=" << shape << " rate=" << rate << " t=" << t;
+  }
+}
+
+TEST_P(HypoexpCrossValidation, WorkspaceOverloadsAreBitIdentical) {
+  // The workspace overloads move scratch off the heap; they promise the
+  // same bits, not just the same tolerance. One workspace reused across
+  // every evaluation (dirty from the previous one) vs a fresh allocating
+  // call — EXPECT_EQ, no EXPECT_NEAR.
+  Rng rng(2000 + static_cast<std::uint64_t>(GetParam()));
+  HypoexpWorkspace ws;
+  for (int trial = 0; trial < 8; ++trial) {
+    const int hops = 1 + static_cast<int>(rng.uniform_int(0, 6));
+    std::vector<double> rates;
+    for (int i = 0; i < hops; ++i) rates.push_back(rng.uniform(0.05, 5.0));
+    // Every other trial, force the near-equal tier (sorted-probe + the
+    // uniformization fallback) by duplicating a rate with a tiny nudge.
+    if (hops >= 2 && trial % 2 == 0) {
+      rates[1] = rates[0] * (1.0 + 1e-9);
+    }
+    for (double t : {-1.0, 0.2, 1.0, 4.0}) {
+      EXPECT_EQ(hypoexp_cdf(rates, t), hypoexp_cdf(rates, t, ws))
+          << "hops=" << hops << " t=" << t;
+      EXPECT_EQ(hypoexp_cdf_uniformization(rates, t),
+                hypoexp_cdf_uniformization(rates, t, ws))
+          << "hops=" << hops << " t=" << t;
+    }
+  }
+}
+
+TEST_P(HypoexpCrossValidation, AppendEvaluatorMatchesDispatcherBitwise) {
+  // The shared-prefix evaluator promises hypoexp_cdf(prefix + {x}, t) with
+  // the dispatcher's exact bits, across every dispatch tier. Adversarial
+  // appends: a fresh rate (closed form), the prefix's own first rate
+  // (duplicate -> uniformization, or Erlang when the prefix is uniform),
+  // and a near-duplicate (near-equal probe -> uniformization).
+  Rng rng(3000 + static_cast<std::uint64_t>(GetParam()));
+  HypoexpWorkspace ws;
+  HypoexpAppendEvaluator eval;
+  for (int trial = 0; trial < 6; ++trial) {
+    const int p = static_cast<int>(rng.uniform_int(0, 5));
+    std::vector<double> chain;
+    for (int i = 0; i < p; ++i) chain.push_back(rng.uniform(0.05, 5.0));
+    if (p >= 2 && trial % 3 == 1) chain[1] = chain[0];  // duplicate prefix
+    if (p >= 2 && trial % 3 == 2) {
+      chain.assign(static_cast<std::size_t>(p), chain[0]);  // uniform prefix
+    }
+    const double t = rng.uniform(0.1, 5.0);
+    eval.reset(chain.data(), chain.size(), t);
+
+    std::vector<double> appends{rng.uniform(0.05, 5.0)};
+    if (p >= 1) {
+      appends.push_back(chain[0]);
+      appends.push_back(chain[0] * (1.0 + 1e-9));
+    }
+    for (const double x : appends) {
+      chain.push_back(x);
+      EXPECT_EQ(eval.eval(chain, ws), hypoexp_cdf(chain, t))
+          << "p=" << p << " x=" << x << " t=" << t;
+      chain.pop_back();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dtn

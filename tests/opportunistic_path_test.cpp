@@ -91,11 +91,14 @@ TEST(OpportunisticPath, RatesVectorMatchesPath) {
   g.set_rate(0, 1, 0.7);
   g.set_rate(1, 2, 1.3);
   const PathTable t = compute_opportunistic_paths(g, 0, 2.0);
-  const auto& entry = t.entry(2);
-  ASSERT_EQ(entry.rates.size(), 2u);
+  const std::vector<double> rates = t.rates(2);
+  ASSERT_EQ(rates.size(), 2u);
   // Rates accumulate from the root outward.
-  EXPECT_DOUBLE_EQ(entry.rates[0], 0.7);
-  EXPECT_DOUBLE_EQ(entry.rates[1], 1.3);
+  EXPECT_DOUBLE_EQ(rates[0], 0.7);
+  EXPECT_DOUBLE_EQ(rates[1], 1.3);
+  // The entry itself stores only the final stage; the chain above comes
+  // from the parent-chain walk.
+  EXPECT_DOUBLE_EQ(t.entry(2).last_rate, 1.3);
 }
 
 TEST(OpportunisticPath, InvalidArguments) {

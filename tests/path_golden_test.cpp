@@ -1,0 +1,136 @@
+// Golden equivalence suite for the zero-allocation path engine.
+//
+// The engine rewrite (parent-chain rate storage + hypoexp workspaces +
+// scratch-buffer relaxation) claims *bit-identical* output: only where the
+// doubles live changed, never their values, order, or the formulas that
+// produce them. These tests pin that claim against the reference engine —
+// a line-for-line transcription of the legacy allocating construction kept
+// alive as PathEngine::kReference — with EXPECT_EQ on raw doubles (no
+// tolerances) at every layer: single-source tables, all-pairs tables,
+// weight_at re-evaluations, batched weights_at, and a full sweep's CSV.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "experiment/experiment.h"
+#include "experiment/sweep.h"
+#include "graph/all_pairs.h"
+#include "graph/contact_graph.h"
+#include "graph/opportunistic_path.h"
+#include "trace/synthetic.h"
+
+namespace dtn {
+namespace {
+
+ContactTrace golden_trace(std::uint64_t seed) {
+  SyntheticTraceConfig c;
+  c.node_count = 24;
+  c.duration = days(8);
+  c.target_total_contacts = 5000;
+  c.seed = seed;
+  return generate_trace(c);
+}
+
+void expect_tables_identical(const PathTable& fast, const PathTable& ref) {
+  ASSERT_EQ(fast.node_count(), ref.node_count());
+  EXPECT_EQ(fast.root(), ref.root());
+  EXPECT_EQ(fast.horizon(), ref.horizon());
+  for (NodeId node = 0; node < fast.node_count(); ++node) {
+    EXPECT_EQ(fast.entry(node).weight, ref.entry(node).weight);
+    EXPECT_EQ(fast.entry(node).last_rate, ref.entry(node).last_rate);
+    EXPECT_EQ(fast.entry(node).next_hop, ref.entry(node).next_hop);
+    EXPECT_EQ(fast.entry(node).hops, ref.entry(node).hops);
+    EXPECT_EQ(fast.rates(node), ref.rates(node));
+    EXPECT_EQ(fast.path_to_root(node), ref.path_to_root(node));
+  }
+}
+
+TEST(PathGolden, SingleSourceTablesBitIdentical) {
+  const ContactGraph graph = build_contact_graph(golden_trace(3));
+  const Time horizon = hours(6);
+  PathWorkspace ws;  // shared across roots: reuse must not leak state
+  for (NodeId root = 0; root < graph.node_count(); ++root) {
+    const PathTable fast =
+        compute_opportunistic_paths(graph, root, horizon, 8, ws);
+    const PathTable ref =
+        compute_opportunistic_paths_reference(graph, root, horizon, 8);
+    expect_tables_identical(fast, ref);
+  }
+}
+
+TEST(PathGolden, SingleSourceTablesBitIdenticalShortHorizon) {
+  // A short horizon keeps weights away from saturation, exercising the
+  // closed-form/uniformization dispatch boundary differently.
+  const ContactGraph graph = build_contact_graph(golden_trace(11));
+  const Time horizon = minutes(20);
+  for (NodeId root = 0; root < graph.node_count(); ++root) {
+    expect_tables_identical(
+        compute_opportunistic_paths(graph, root, horizon, 8),
+        compute_opportunistic_paths_reference(graph, root, horizon, 8));
+  }
+}
+
+TEST(PathGolden, AllPairsTableForTableBitIdentical) {
+  const ContactGraph graph = build_contact_graph(golden_trace(5));
+  const Time horizon = hours(6);
+  const AllPairsPaths fast(graph, horizon, 8, /*threads=*/8,
+                           PathEngine::kFast);
+  const AllPairsPaths ref(graph, horizon, 8, /*threads=*/1,
+                          PathEngine::kReference);
+  ASSERT_EQ(fast.node_count(), ref.node_count());
+  for (NodeId root = 0; root < fast.node_count(); ++root) {
+    expect_tables_identical(fast.table(root), ref.table(root));
+  }
+}
+
+TEST(PathGolden, WeightAtAndBatchedWeightsAtBitIdentical) {
+  const ContactGraph graph = build_contact_graph(golden_trace(5));
+  const Time horizon = hours(6);
+  const AllPairsPaths fast(graph, horizon, 8, 0, PathEngine::kFast);
+  const AllPairsPaths ref(graph, horizon, 8, 0, PathEngine::kReference);
+
+  std::vector<NodeId> from_list(static_cast<std::size_t>(fast.node_count()));
+  std::iota(from_list.begin(), from_list.end(), NodeId{0});
+  std::vector<double> batched;
+  for (const Time budget : {minutes(10), hours(1), hours(3), hours(6)}) {
+    for (NodeId to = 0; to < fast.node_count(); ++to) {
+      fast.weights_at(from_list, to, budget, batched);
+      ASSERT_EQ(batched.size(), from_list.size());
+      for (NodeId from = 0; from < fast.node_count(); ++from) {
+        const double scalar = fast.weight_at(from, to, budget);
+        EXPECT_EQ(batched[static_cast<std::size_t>(from)], scalar);
+        EXPECT_EQ(scalar, ref.weight_at(from, to, budget));
+      }
+    }
+  }
+}
+
+TEST(PathGolden, SweepCsvByteIdenticalAcrossEngines) {
+  const ContactTrace trace = golden_trace(3);
+
+  SweepConfig config;
+  config.base.avg_lifetime = days(1);
+  config.base.avg_data_size = megabits(40);
+  config.base.ncl_count = 2;
+  config.base.repetitions = 2;
+  config.base.auto_horizon = false;
+  config.base.sim.path_horizon = hours(6);
+  config.base.sim.maintenance_interval = hours(12);
+  config.schemes = {SchemeKind::kNclCache, SchemeKind::kNoCache};
+  config.lifetimes = {hours(12), days(1)};
+  config.ncl_counts = {1, 2};
+
+  config.base.sim.path_engine = PathEngine::kFast;
+  const std::string csv_fast = sweep_to_csv(run_sweep(trace, config));
+
+  config.base.sim.path_engine = PathEngine::kReference;
+  const std::string csv_ref = sweep_to_csv(run_sweep(trace, config));
+
+  EXPECT_EQ(csv_fast, csv_ref);
+  EXPECT_FALSE(csv_fast.empty());
+}
+
+}  // namespace
+}  // namespace dtn

@@ -28,6 +28,14 @@ per unit before the gate trips; generous because CI runners are shared).
 Stages present in only one file are reported but never fatal — benches
 gain and lose stages as the suite evolves.
 
+Independently of the baseline/candidate diff, ``--require-speedup
+REF:CAND:MINX`` (repeatable) asserts that *within the candidate file* stage
+``REF``'s median wall time is at least ``MINX`` times stage ``CAND``'s.
+Both stages come from the same artifact, i.e. the same process on the same
+host, so the ratio is immune to runner speed — this is how a bench that
+measures an old implementation against its replacement publishes a hard
+speedup floor (e.g. ``all_pairs_reference:all_pairs_fast:3``).
+
 Exit codes: 0 = no regression, 1 = at least one regression (suppressed by
 ``--advisory``), 2 = usage or file/schema error.
 """
@@ -143,6 +151,63 @@ def compare(baseline: dict, candidate: dict, threshold: float) -> list:
     return regressed
 
 
+def parse_speedup_spec(spec: str) -> tuple:
+    """Splits 'ref_stage:cand_stage:minx' and validates the ratio."""
+    parts = spec.split(":")
+    if len(parts) != 3 or not parts[0] or not parts[1]:
+        fail(f"--require-speedup spec {spec!r} is not REF:CAND:MINX")
+    try:
+        minx = float(parts[2])
+    except ValueError:
+        fail(f"--require-speedup spec {spec!r}: {parts[2]!r} is not a number")
+    if minx <= 0:
+        fail(f"--require-speedup spec {spec!r}: MINX must be > 0")
+    return parts[0], parts[1], minx
+
+
+def check_speedups(candidate: dict, specs: list) -> list:
+    """Within-file speedup floors. Returns the list of failed spec strings.
+
+    Compares raw median wall times, not per-unit times: the two stages do
+    different amounts of bookkeeping per unit by design (that is the point
+    of the comparison), and both ran in the same process on the same host,
+    so wall-clock ratio is the honest number.
+    """
+    stages = {s["name"]: s for s in candidate["stages"]}
+    failed = []
+    for spec in specs:
+        ref_name, cand_name, minx = parse_speedup_spec(spec)
+        missing = [n for n in (ref_name, cand_name) if n not in stages]
+        if missing:
+            annotate(
+                "error",
+                f"speedup gate {spec}: stage(s) {', '.join(missing)} absent "
+                f"from {candidate.get('bench')}",
+            )
+            failed.append(spec)
+            continue
+        ref_ns = float(stages[ref_name]["median_ns"])
+        cand_ns = float(stages[cand_name]["median_ns"])
+        if cand_ns <= 0:
+            annotate("error", f"speedup gate {spec}: candidate median is 0")
+            failed.append(spec)
+            continue
+        ratio = ref_ns / cand_ns
+        ok = ratio >= minx
+        print(
+            f"speedup {ref_name} / {cand_name}: {ratio:.2f}x "
+            f"(floor {minx:.2f}x)  {'ok' if ok else 'FAILED'}"
+        )
+        if not ok:
+            failed.append(spec)
+            annotate(
+                "error",
+                f"speedup floor not met in {candidate.get('bench')}: "
+                f"{ref_name} / {cand_name} = {ratio:.2f}x < {minx:.2f}x",
+            )
+    return failed
+
+
 def self_test() -> int:
     """Fixture check: identical files pass, a 2x per-unit slowdown fails."""
 
@@ -193,6 +258,23 @@ def self_test() -> int:
     if compare(copy.deepcopy(degenerate), copy.deepcopy(degenerate), 0.5):
         failures.append("degenerate unit count mishandled")
 
+    # 6-8. --require-speedup fixtures: a 4x measured ratio against a 3x
+    # floor passes, against a 5x floor fails, and a missing stage fails.
+    two_stage = {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "selftest",
+        "stages": [
+            {"name": "old", "median_ns": 4_000_000, "work_units_per_rep": 1.0},
+            {"name": "new", "median_ns": 1_000_000, "work_units_per_rep": 1.0},
+        ],
+    }
+    if check_speedups(copy.deepcopy(two_stage), ["old:new:3"]):
+        failures.append("4x speedup failed a 3x floor")
+    if not check_speedups(copy.deepcopy(two_stage), ["old:new:5"]):
+        failures.append("4x speedup passed a 5x floor")
+    if not check_speedups(copy.deepcopy(two_stage), ["old:missing:3"]):
+        failures.append("missing speedup stage not flagged")
+
     if failures:
         for f in failures:
             print(f"self-test FAILED: {f}", file=sys.stderr)
@@ -219,6 +301,14 @@ def main(argv: list) -> int:
         help="report regressions but always exit 0 (CI smoke mode)",
     )
     parser.add_argument(
+        "--require-speedup",
+        action="append",
+        default=[],
+        metavar="REF:CAND:MINX",
+        help="require candidate stage REF's median wall time to be at least "
+        "MINX times stage CAND's (within the candidate file; repeatable)",
+    )
+    parser.add_argument(
         "--self-test",
         action="store_true",
         help="run the built-in fixtures and exit",
@@ -235,11 +325,18 @@ def main(argv: list) -> int:
     baseline = load_report(args.baseline)
     candidate = load_report(args.candidate)
     regressed = compare(baseline, candidate, args.threshold)
-    if regressed:
-        print(
-            f"bench_compare: {len(regressed)} stage(s) regressed: "
-            + ", ".join(regressed)
-        )
+    failed_speedups = check_speedups(candidate, args.require_speedup)
+    if regressed or failed_speedups:
+        if regressed:
+            print(
+                f"bench_compare: {len(regressed)} stage(s) regressed: "
+                + ", ".join(regressed)
+            )
+        if failed_speedups:
+            print(
+                f"bench_compare: {len(failed_speedups)} speedup floor(s) "
+                "not met: " + ", ".join(failed_speedups)
+            )
         if args.advisory:
             annotate("notice", "advisory mode: regressions do not fail the job")
             return 0

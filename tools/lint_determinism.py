@@ -20,6 +20,14 @@ nondeterminism, so this lint greps src/ for the constructs that break it:
                      inside a function that writes CSV or folds statistics —
                      iteration order is implementation-defined, so the folded
                      floats / emitted rows depend on hash-table layout
+  vector-in-loop     a std::vector declared inside a loop body in a
+                     src/graph/ file — the path engine's inner loops are the
+                     hottest code in the tree and run allocation-free by
+                     contract (PR 5); per-iteration vectors reintroduce the
+                     malloc traffic the workspace rewrite removed. Hoist the
+                     vector into a PathWorkspace / HypoexpWorkspace scratch
+                     (allowlist the legacy reference engine, which keeps the
+                     old allocation pattern on purpose)
 
 False-positive escape hatch: tools/lint_allowlist.txt. One entry per line,
 `<path-relative-to-repo>:<rule-id>[:<substring>]`; a hit is suppressed when
@@ -93,6 +101,15 @@ UNORDERED_DECL_RE = re.compile(
     r"(?P<name>\w+)\s*[;={(]"
 )
 UNORDERED_INLINE_RE = re.compile(r"std::unordered_(?:map|set|multimap|multiset)\b")
+
+# vector-in-loop applies only to the path-engine hot files (plus the lint
+# fixtures, which must exercise every rule). A vector *declaration* inside a
+# loop body; references/pointers (`const std::vector<double>&`) do not match
+# because the regex requires a plain identifier right after the template
+# argument list.
+HOT_PATH_RE = re.compile(r"^src/graph/")
+VECTOR_DECL_RE = re.compile(r"\bstd::vector\s*<[^;(){}]*>\s+\w+\s*[;={(\[]")
+LOOP_HEADER_RE = re.compile(r"(?<![\w:])(?:for|while)\s*\(|(?<![\w:])do\s*\{")
 
 # A function body counts as "writes CSV or folds statistics" when it touches
 # any of these. Deliberately narrow: flagging every unordered iteration in
@@ -176,6 +193,70 @@ def function_chunks(lines):
         depth = max(depth, 0)  # unmatched namespace closers clamp back
 
 
+def loop_body_depth(lines):
+    """Yields (lineno, nesting) where nesting = enclosing loop bodies.
+
+    A small character-level state machine: a `for`/`while` keyword arms the
+    scanner, the matching close paren of its header ends the header, and the
+    next `{` opens a loop body (a `;` first means a braceless single-statement
+    body, which cannot contain a declaration). `do` arms the scanner with the
+    body brace expected immediately. Multi-line headers work because the
+    state persists across lines.
+    """
+    depth = 0  # brace depth
+    paren = 0
+    loop_depths = []  # brace depths whose region is a loop body
+    awaiting = None  # None | ("header", paren_base) | "body"
+    for i, line in enumerate(lines, start=1):
+        code = strip_comments(line)
+        yield i, len(loop_depths)
+        starts = {m.start(): m.group(0) for m in LOOP_HEADER_RE.finditer(code)}
+        for pos, ch in enumerate(code):
+            if pos in starts:
+                awaiting = "body" if starts[pos].startswith("do") else (
+                    "header", paren)
+            if ch == "(":
+                paren += 1
+            elif ch == ")":
+                paren -= 1
+                if isinstance(awaiting, tuple) and paren == awaiting[1]:
+                    awaiting = "body"
+            elif ch == "{":
+                depth += 1
+                if awaiting == "body":
+                    loop_depths.append(depth)
+                    awaiting = None
+            elif ch == "}":
+                if loop_depths and loop_depths[-1] == depth:
+                    loop_depths.pop()
+                depth = max(depth - 1, 0)
+            elif ch == ";" and awaiting == "body" and paren == 0:
+                awaiting = None  # braceless loop body: for (...) stmt;
+
+
+def lint_vector_in_loop(rel, lines, allowlist, findings):
+    for lineno, nesting in loop_body_depth(lines):
+        if nesting == 0:
+            continue
+        raw = lines[lineno - 1]
+        code = strip_comments(raw)
+        if not VECTOR_DECL_RE.search(code):
+            continue
+        if allowed(allowlist, rel, "vector-in-loop", raw):
+            continue
+        findings.append(
+            (
+                rel,
+                lineno,
+                "vector-in-loop",
+                raw.strip(),
+                "path-engine hot loops are allocation-free by contract; "
+                "hoist this vector into a PathWorkspace/HypoexpWorkspace "
+                "scratch (or allowlist deliberate legacy-reference code)",
+            )
+        )
+
+
 def lint_file(path: Path, allowlist, findings):
     rel = path.resolve().relative_to(REPO_ROOT).as_posix()
     try:
@@ -190,6 +271,9 @@ def lint_file(path: Path, allowlist, findings):
         for rule, pattern, why in TOKEN_RULES:
             if pattern.search(code) and not allowed(allowlist, rel, rule, raw):
                 findings.append((rel, lineno, rule, raw.strip(), why))
+
+    if HOT_PATH_RE.match(rel) or path.name.startswith("fixture_"):
+        lint_vector_in_loop(rel, lines, allowlist, findings)
 
     # unordered-fold: names of unordered containers declared in this file,
     # plus literal inline unordered types in the loop expression.
@@ -259,7 +343,10 @@ def self_test(fixture_dir: Path) -> int:
     findings = []
     lint_file(banned, [], findings)
     tripped = {rule for _, _, rule, _, _ in findings}
-    expected = {rule for rule, _, _ in TOKEN_RULES} | {"unordered-fold"}
+    expected = {rule for rule, _, _ in TOKEN_RULES} | {
+        "unordered-fold",
+        "vector-in-loop",
+    }
     for rule in sorted(expected - tripped):
         failures.append(f"banned fixture did not trip rule {rule!r}")
 
