@@ -10,38 +10,48 @@ namespace dtn {
 
 KnapsackResult solve_knapsack(const std::vector<KnapsackItem>& items,
                               Bytes capacity, Bytes unit) {
-  if (unit <= 0) throw std::invalid_argument("knapsack unit must be > 0");
+  KnapsackWorkspace ws;
   KnapsackResult result;
-  if (items.empty() || capacity <= 0) return result;
+  solve_knapsack(items, capacity, unit, ws, result);
+  return result;
+}
+
+void solve_knapsack(const std::vector<KnapsackItem>& items, Bytes capacity,
+                    Bytes unit, KnapsackWorkspace& ws, KnapsackResult& out) {
+  if (unit <= 0) throw std::invalid_argument("knapsack unit must be > 0");
+  out.selected.clear();
+  out.total_value = 0.0;
+  out.total_size = 0;
+  if (items.empty() || capacity <= 0) return;
   DTN_SCOPED_TIMER(kKnapsack);
   DTN_COUNT(kKnapsackSolves);
 
   const std::size_t cap_units = static_cast<std::size_t>(capacity / unit);
-  if (cap_units == 0) return result;
+  if (cap_units == 0) return;
 
-  std::vector<std::size_t> unit_sizes(items.size());
+  ws.unit_sizes.resize(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
     if (items[i].size <= 0) throw std::invalid_argument("item size must be > 0");
     if (items[i].value < 0.0) throw std::invalid_argument("item value must be >= 0");
     // Round up so quantized feasibility implies byte feasibility.
-    unit_sizes[i] = static_cast<std::size_t>((items[i].size + unit - 1) / unit);
+    ws.unit_sizes[i] = static_cast<std::size_t>((items[i].size + unit - 1) / unit);
   }
 
-  // dp[c] = best value using capacity c; keep[i][c] records the choice for
-  // reconstruction. keep is items x (cap+1) bits.
-  std::vector<double> dp(cap_units + 1, 0.0);
-  std::vector<std::vector<bool>> keep(items.size(),
-                                      std::vector<bool>(cap_units + 1, false));
+  // dp[c] = best value using capacity c; keep[i * (cap+1) + c] records the
+  // choice for reconstruction (flat byte matrix, reused across calls).
+  ws.dp.assign(cap_units + 1, 0.0);
+  ws.keep.assign(items.size() * (cap_units + 1), 0);
 
   for (std::size_t i = 0; i < items.size(); ++i) {
-    const std::size_t s = unit_sizes[i];
+    const std::size_t s = ws.unit_sizes[i];
     if (s > cap_units) continue;
     DTN_COUNT_N(kKnapsackDpCells, cap_units - s + 1);
+    std::uint8_t* keep_row = ws.keep.data() + i * (cap_units + 1);
     for (std::size_t c = cap_units; c >= s; --c) {
-      const double candidate = dp[c - s] + items[i].value;
-      if (candidate > dp[c]) {
-        dp[c] = candidate;
-        keep[i][c] = true;
+      const double candidate = ws.dp[c - s] + items[i].value;
+      if (candidate > ws.dp[c]) {
+        ws.dp[c] = candidate;
+        keep_row[c] = 1;
       }
     }
   }
@@ -49,22 +59,21 @@ KnapsackResult solve_knapsack(const std::vector<KnapsackItem>& items,
   // Reconstruct from the full capacity downward.
   std::size_t c = cap_units;
   for (std::size_t i = items.size(); i-- > 0;) {
-    if (c >= unit_sizes[i] && keep[i][c]) {
-      result.selected.push_back(i);
-      result.total_value += items[i].value;
-      result.total_size += items[i].size;
-      c -= unit_sizes[i];
+    if (c >= ws.unit_sizes[i] && ws.keep[i * (cap_units + 1) + c]) {
+      out.selected.push_back(i);
+      out.total_value += items[i].value;
+      out.total_size += items[i].size;
+      c -= ws.unit_sizes[i];
     }
   }
-  std::reverse(result.selected.begin(), result.selected.end());
+  std::reverse(out.selected.begin(), out.selected.end());
   // Eq. 7 feasibility: sizes were quantized *up*, so the exact byte total of
   // the selection can never exceed the byte capacity.
-  DTN_CHECK_LE(result.total_size, capacity);
-  DTN_CHECK_FINITE(result.total_value);
-  DTN_CHECK_GE(result.total_value, 0.0);
-  DTN_CHECK(std::is_sorted(result.selected.begin(), result.selected.end()),
+  DTN_CHECK_LE(out.total_size, capacity);
+  DTN_CHECK_FINITE(out.total_value);
+  DTN_CHECK_GE(out.total_value, 0.0);
+  DTN_CHECK(std::is_sorted(out.selected.begin(), out.selected.end()),
             "knapsack selection is unique and in input order");
-  return result;
 }
 
 }  // namespace dtn

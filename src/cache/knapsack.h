@@ -8,6 +8,7 @@
 // never exceeded, preserving the knapsack feasibility invariant.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/types.h"
@@ -25,10 +26,27 @@ struct KnapsackResult {
   Bytes total_size = 0;  ///< exact byte total of selected items
 };
 
+/// Reusable DP scratch for the allocation-free solve_knapsack overload.
+/// The keep table is a flat items x (cap_units + 1) byte matrix instead of
+/// a vector of vector<bool>; identical DP recurrence and reconstruction.
+struct KnapsackWorkspace {
+  std::vector<std::size_t> unit_sizes;
+  std::vector<double> dp;
+  std::vector<std::uint8_t> keep;
+};
+
 /// Maximizes total value subject to total (quantized) size <= capacity.
 /// Deterministic: ties resolve toward lower indices. `unit` is the
 /// quantization granularity in bytes; must be > 0.
+/// The DP is pure — no RNG, fully determined by its inputs — so the
+/// convenience overload simply delegates to the workspace form with local
+/// scratch; there is a single implementation, not an oracle pair.
 KnapsackResult solve_knapsack(const std::vector<KnapsackItem>& items,
                               Bytes capacity, Bytes unit = 1 << 20);
+
+/// Allocation-free form: scratch and the result's `selected` vector retain
+/// capacity across calls. `out` is reset unconditionally.
+void solve_knapsack(const std::vector<KnapsackItem>& items, Bytes capacity,
+                    Bytes unit, KnapsackWorkspace& ws, KnapsackResult& out);
 
 }  // namespace dtn

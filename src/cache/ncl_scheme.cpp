@@ -1,3 +1,8 @@
+// SimEngine::kFast implementation. Every protocol decision, and the order
+// of every RNG draw, mirrors cache/ncl_scheme_reference.cpp line for line —
+// only where state lives changed (SoA NodeStore, pooled bundle chains,
+// reusable workspaces). When editing, keep the two files in lockstep or
+// tests/engine_golden_test.cpp will fail on the first diverging draw.
 #include "cache/ncl_scheme.h"
 
 #include <algorithm>
@@ -8,6 +13,35 @@
 
 namespace dtn {
 
+void NclCachingScheme::ContactWorkspace::begin_contact() {
+  DTN_CHECK(!active_,
+            "contact workspace reuse across contacts: begin_contact before "
+            "the previous contact's end_contact");
+  active_ = true;
+  if (used_) DTN_COUNT(kContactWorkspaceReuses);
+  used_ = true;
+}
+
+void NclCachingScheme::ContactWorkspace::end_contact() {
+  DTN_CHECK(active_, "end_contact without a matching begin_contact");
+  active_ = false;
+}
+
+void NclCachingScheme::NodeStore::resize(std::size_t n) {
+  buffer.resize(n);
+  entries.resize(n);
+  gds_l.assign(n, 0.0);
+  history.resize(n);
+  push_tokens.resize(n);
+  query_copies.resize(n);
+  responses.resize(n);
+  seen_queries.resize(n);
+  responded.resize(n);
+  seen_order.resize(n);
+  next_expiry.assign(n, kNever);
+  central_counts.resize(n);
+}
+
 NclCachingScheme::NclCachingScheme(NclSchemeConfig config)
     : config_(std::move(config)) {
   if (config_.central_nodes.empty()) {
@@ -16,58 +50,152 @@ NclCachingScheme::NclCachingScheme(NclSchemeConfig config)
   if (config_.buffer_capacity.empty()) {
     throw std::invalid_argument("per-node buffer capacities required");
   }
-  nodes_.resize(config_.buffer_capacity.size());
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+  store_.resize(config_.buffer_capacity.size());
+  for (std::size_t i = 0; i < store_.size(); ++i) {
     if (config_.buffer_capacity[i] < 0) {
       throw std::invalid_argument("negative buffer capacity");
     }
-    nodes_[i].buffer = CacheBuffer(config_.buffer_capacity[i]);
+    store_.buffer[i] = CacheBuffer(config_.buffer_capacity[i]);
   }
   for (NodeId c : config_.central_nodes) {
-    if (c < 0 || static_cast<std::size_t>(c) >= nodes_.size()) {
+    if (c < 0 || static_cast<std::size_t>(c) >= store_.size()) {
       throw std::invalid_argument("central node id out of range");
     }
+  }
+  is_central_.assign(store_.size(), 0);
+  for (NodeId c : config_.central_nodes) {
+    is_central_[static_cast<std::size_t>(c)] = 1;
   }
 }
 
 void NclCachingScheme::on_start(SimServices& services) { (void)services; }
 
+std::size_t NclCachingScheme::index(NodeId node) const {
+  const auto i = static_cast<std::size_t>(node);
+  if (node < 0 || i >= store_.size()) {
+    throw std::out_of_range("node id out of range");
+  }
+  return i;
+}
+
 bool NclCachingScheme::is_central(NodeId node) const {
-  return std::find(config_.central_nodes.begin(), config_.central_nodes.end(),
-                   node) != config_.central_nodes.end();
+  const auto i = static_cast<std::size_t>(node);
+  return node >= 0 && i < is_central_.size() && is_central_[i] != 0;
+}
+
+void NclCachingScheme::note_expiry(std::size_t node, Time expires) {
+  if (expires < store_.next_expiry[node]) store_.next_expiry[node] = expires;
+}
+
+void NclCachingScheme::central_count_add(std::size_t node, NodeId central,
+                                         int delta) {
+  auto& counts = store_.central_counts[node];
+  for (auto& [c, n] : counts) {
+    if (c == central) {
+      n += delta;
+      DTN_CHECK_GE(n, 0);
+      return;
+    }
+  }
+  DTN_CHECK_GE(delta, 0);
+  counts.emplace_back(central, delta);
+}
+
+std::int32_t NclCachingScheme::central_count(std::size_t node,
+                                             NodeId central) const {
+  for (const auto& [c, n] : store_.central_counts[node]) {
+    if (c == central) return n;
+  }
+  return 0;
+}
+
+void NclCachingScheme::put_entry(SimServices& services, std::size_t node,
+                                 DataId id, const CacheEntry& entry) {
+  const bool inserted = store_.entries[node].emplace(id, entry).second;
+  DTN_CHECK(inserted, "cache entry insert must be fresh");
+  central_count_add(node, entry.central, +1);
+  note_expiry(node, services.data(id).expires);
+}
+
+bool NclCachingScheme::drop_entry(std::size_t node, DataId id) {
+  auto& entries = store_.entries[node];
+  const auto it = entries.find(id);
+  if (it == entries.end()) return false;
+  store_.buffer[node].erase(id);
+  central_count_add(node, it->second.central, -1);
+  entries.erase(it);
+  return true;
 }
 
 double NclCachingScheme::popularity_of(SimServices& services, NodeId node,
                                        DataId data) const {
-  const auto& history = state(node).history;
+  const auto& history = store_.history[static_cast<std::size_t>(node)];
   const auto it = history.find(data);
   if (it == history.end()) return 0.0;
   return it->second.popularity(services.now(), services.data(data).expires);
 }
 
 bool NclCachingScheme::holds_data(NodeId node, DataId data, Time now) const {
-  const NodeState& ns = state(node);
-  const auto it = ns.entries.find(data);
-  return it != ns.entries.end() && ns.buffer.contains(data) &&
+  const auto ni = static_cast<std::size_t>(node);
+  const auto& entries = store_.entries[ni];
+  const auto it = entries.find(data);
+  return it != entries.end() && store_.buffer[ni].contains(data) &&
          it->second.size > 0 && now >= 0.0;  // entry presence implies liveness
 }
 
 bool NclCachingScheme::node_caches(NodeId node, DataId data) const {
-  return state(node).entries.contains(data);
+  return store_.entries[index(node)].contains(data);
 }
 
 bool NclCachingScheme::check_invariants(const DataRegistry& registry) const {
-  for (std::size_t node = 0; node < nodes_.size(); ++node) {
-    const NodeState& ns = nodes_[node];
-    if (ns.buffer.used() > ns.buffer.capacity()) return false;
+  for (std::size_t node = 0; node < store_.size(); ++node) {
+    const auto& entries = store_.entries[node];
+    const CacheBuffer& buffer = store_.buffer[node];
+    if (buffer.used() > buffer.capacity()) return false;
     Bytes entry_bytes = 0;
-    for (const auto& [id, entry] : ns.entries) {
-      if (!ns.buffer.contains(id)) return false;
-      if (ns.buffer.size_of(id) != entry.size) return false;
+    for (const auto& [id, entry] : entries) {
+      if (!buffer.contains(id)) return false;
+      if (buffer.size_of(id) != entry.size) return false;
       if (registry.get(id).size != entry.size) return false;
       entry_bytes += entry.size;
+      // The earliest-expiry bound must never exceed the expiry of anything
+      // the node holds, or prune scans would be skipped past real work.
+      if (store_.next_expiry[node] > registry.get(id).expires) return false;
     }
-    if (entry_bytes != ns.buffer.used()) return false;
+    if (entry_bytes != buffer.used()) return false;
+    // The per-(node, central) counts drive NCL-membership tests; they must
+    // agree exactly with the entry map.
+    for (const auto& [central, count] : store_.central_counts[node]) {
+      std::int32_t actual = 0;
+      for (const auto& [id, entry] : entries) {
+        if (entry.central == central) ++actual;
+      }
+      if (actual != count) return false;
+    }
+    for (const auto& [central, count] : store_.central_counts[node]) {
+      if (count < 0) return false;
+    }
+    for (const auto& [id, estimator] : store_.history[node]) {
+      if (store_.next_expiry[node] > registry.get(id).expires) return false;
+    }
+    for (auto h = store_.push_tokens[node].head;
+         h != SlabPool<PushToken>::kNull; h = token_pool_.next(h)) {
+      if (store_.next_expiry[node] > registry.get(token_pool_.get(h).data).expires) {
+        return false;
+      }
+    }
+    for (auto h = store_.query_copies[node].head;
+         h != SlabPool<QueryCopy>::kNull; h = query_pool_.next(h)) {
+      if (store_.next_expiry[node] > query_pool_.get(h).query.expires) {
+        return false;
+      }
+    }
+    for (auto h = store_.responses[node].head;
+         h != SlabPool<ResponseBundle>::kNull; h = response_pool_.next(h)) {
+      if (store_.next_expiry[node] > response_pool_.get(h).query.expires) {
+        return false;
+      }
+    }
     // Note: a push token's holder *usually* caches the item, but cache
     // replacement may migrate the entry to a peer while the token stays —
     // the token then re-establishes a copy at its next forwarding step, so
@@ -78,50 +206,53 @@ bool NclCachingScheme::check_invariants(const DataRegistry& registry) const {
 
 std::size_t NclCachingScheme::push_tokens_in_flight() const {
   std::size_t count = 0;
-  for (const auto& ns : nodes_) count += ns.push_tokens.size();
+  for (const auto& chain : store_.push_tokens) count += chain.size;
   return count;
 }
 
 void NclCachingScheme::on_data_generated(SimServices& services,
                                          const DataItem& item) {
-  NodeState& source = state(item.source);
+  const std::size_t si = index(item.source);
   // The source holds its item natively for the item's lifetime; push tokens
   // carry copies towards every central node. If the source *is* a central
   // node, its copy settles immediately.
   for (NodeId c : config_.central_nodes) {
     if (c == item.source) {
-      if (source.buffer.insert(item.id, item.size)) {
-        source.entries[item.id] =
-            make_entry(services, item.source, item.size, c, false);
+      if (store_.buffer[si].insert(item.id, item.size)) {
+        put_entry(services, si, item.id,
+                  make_entry(services, item.source, item.size, c, false));
       }
       continue;
     }
-    source.push_tokens.push_back(PushToken{item.id, c});
+    store_.push_tokens[si].push_back(token_pool_, PushToken{item.id, c});
+    note_expiry(si, item.expires);
   }
 }
 
 void NclCachingScheme::note_query_seen(SimServices& services, NodeId node,
                                        const Query& query) {
-  NodeState& ns = state(node);
-  if (ns.seen_queries.contains(query.id)) return;
-  ns.seen_queries.insert(query.id);
-  ns.seen_order.push_back(query.id);
-  while (ns.seen_order.size() > config_.max_tracked_queries) {
-    const QueryId evicted = ns.seen_order.front();
-    ns.seen_order.pop_front();
-    ns.seen_queries.erase(evicted);
-    ns.responded.erase(evicted);
+  const std::size_t ni = index(node);
+  if (store_.seen_queries[ni].contains(query.id)) return;
+  store_.seen_queries[ni].insert(query.id);
+  store_.seen_order[ni].push_back(query.id);
+  while (store_.seen_order[ni].size() > config_.max_tracked_queries) {
+    const QueryId evicted = store_.seen_order[ni].front();
+    store_.seen_order[ni].pop_front();
+    store_.seen_queries[ni].erase(evicted);
+    store_.responded[ni].erase(evicted);
   }
-  ns.history[query.data].record_request(query.issued);
-  (void)services;
+  store_.history[ni][query.data].record_request(query.issued);
+  // History entries expire with their data item, so the node's expiry
+  // bound must cover the item's lifetime, not the query's.
+  note_expiry(ni, services.data(query.data).expires);
 }
 
 void NclCachingScheme::maybe_respond(SimServices& services, NodeId node,
                                      const Query& query) {
   const Time now = services.now();
   if (!query.alive(now)) return;
-  NodeState& ns = state(node);
-  if (ns.responded.contains(query.id)) return;
+  const std::size_t ni = index(node);
+  if (store_.responded[ni].contains(query.id)) return;
 
   const DataItem& item = services.data(query.data);
   if (!item.alive(now)) return;
@@ -129,14 +260,15 @@ void NclCachingScheme::maybe_respond(SimServices& services, NodeId node,
   const bool native = item.source == node;
   if (!cached && !native) return;  // no copy to return; no decision yet
 
-  ns.responded.insert(query.id);
+  store_.responded[ni].insert(query.id);
 
   // Refresh recency / GDS value for the traditional replacement policies.
-  if (auto it = ns.entries.find(query.data); it != ns.entries.end()) {
+  if (auto it = store_.entries[ni].find(query.data);
+      it != store_.entries[ni].end()) {
     it->second.last_access = now;
     it->second.h_value =
-        ns.gds_l + popularity_of(services, node, query.data) /
-                       (static_cast<double>(it->second.size) / (1 << 20));
+        store_.gds_l[ni] + popularity_of(services, node, query.data) /
+                               (static_cast<double>(it->second.size) / (1 << 20));
   }
 
   double probability = 1.0;
@@ -160,7 +292,8 @@ void NclCachingScheme::maybe_respond(SimServices& services, NodeId node,
   DTN_CHECK_PROB(probability);
   if (!services.rng().bernoulli(probability)) return;
 
-  ns.responses.push_back(ResponseBundle{query, item.size});
+  store_.responses[ni].push_back(response_pool_, ResponseBundle{query, item.size});
+  note_expiry(ni, query.expires);
   ++responses_sent_;
 }
 
@@ -176,63 +309,79 @@ void NclCachingScheme::on_query(SimServices& services, const Query& query) {
   }
 
   // Multicast one routed copy per central node (Sec. V-B).
-  NodeState& ns = state(requester);
+  const std::size_t ri = index(requester);
   for (NodeId c : config_.central_nodes) {
     QueryCopy copy{query, c, /*broadcast=*/false};
     if (c == requester) {
       copy.broadcast = true;  // the requester is a central node itself
       maybe_respond(services, requester, query);
     }
-    ns.query_copies.push_back(std::move(copy));
+    store_.query_copies[ri].push_back(query_pool_, copy);
   }
+  note_expiry(ri, query.expires);
 }
 
 void NclCachingScheme::transfer_direction(SimServices& services, NodeId from,
                                           NodeId to, LinkBudget& budget) {
   const Time now = services.now();
-  NodeState& src = state(from);
-  NodeState& dst = state(to);
+  const std::size_t fi = index(from);
+  const std::size_t ti = index(to);
 
   // ---- 1. Responses: cached data returning to requesters. ----
   {
-    std::vector<ResponseBundle> kept;
-    kept.reserve(src.responses.size());
-    for (auto& response : src.responses) {
+    BundleChain<ResponseBundle> kept;
+    auto h = store_.responses[fi].head;
+    store_.responses[fi] = BundleChain<ResponseBundle>{};
+    while (h != SlabPool<ResponseBundle>::kNull) {
+      const auto next = response_pool_.next(h);
+      ResponseBundle& response = response_pool_.get(h);
       const Query& q = response.query;
-      if (!q.alive(now) || !services.data(q.data).alive(now)) continue;  // drop
-      if (to == q.requester) {
+      if (!q.alive(now) || !services.data(q.data).alive(now)) {
+        response_pool_.release(h);  // drop
+      } else if (to == q.requester) {
         if (budget.consume(response.size)) {
           services.count_bytes(response.size);
           services.deliver(q);
           satisfied_.insert(q.id);
           ++counters_.responses_delivered;
-          continue;  // delivered: bundle consumed
+          response_pool_.release(h);  // delivered: bundle consumed
+        } else {
+          kept.append(response_pool_, h);
         }
-        kept.push_back(std::move(response));
-        continue;
+      } else {
+        const double w_to = services.path_weight(to, q.requester);
+        const double w_from = services.path_weight(from, q.requester);
+        if (w_to > w_from && budget.consume(response.size)) {
+          services.count_bytes(response.size);
+          note_expiry(ti, q.expires);
+          store_.responses[ti].append(response_pool_, h);  // moved
+        } else {
+          kept.append(response_pool_, h);
+        }
       }
-      const double w_to = services.path_weight(to, q.requester);
-      const double w_from = services.path_weight(from, q.requester);
-      if (w_to > w_from && budget.consume(response.size)) {
-        services.count_bytes(response.size);
-        dst.responses.push_back(std::move(response));
-        continue;  // moved
-      }
-      kept.push_back(std::move(response));
+      h = next;
     }
-    src.responses = std::move(kept);
+    store_.responses[fi] = kept;
   }
 
   // ---- 2. Query copies: routed towards centrals / broadcast in NCLs. ----
   {
-    std::vector<QueryCopy> kept;
-    kept.reserve(src.query_copies.size());
-    for (auto& copy : src.query_copies) {
+    BundleChain<QueryCopy> kept;
+    auto h = store_.query_copies[fi].head;
+    store_.query_copies[fi] = BundleChain<QueryCopy>{};
+    while (h != SlabPool<QueryCopy>::kNull) {
+      const auto next = query_pool_.next(h);
+      QueryCopy& copy = query_pool_.get(h);
       const Query& q = copy.query;
-      if (!q.alive(now)) continue;  // expired: drop
+      if (!q.alive(now)) {
+        query_pool_.release(h);  // expired: drop
+        h = next;
+        continue;
+      }
 
       if (!copy.broadcast) {
         // Routed phase: ride the gradient towards the central node.
+        bool forwarded = false;
         if (to == copy.central) {
           if (budget.consume(kQueryBytes)) {
             services.count_bytes(kQueryBytes);
@@ -240,8 +389,9 @@ void NclCachingScheme::transfer_direction(SimServices& services, NodeId from,
             maybe_respond(services, to, q);
             copy.broadcast = true;  // central starts the NCL broadcast
             ++counters_.queries_reached_central;
-            dst.query_copies.push_back(std::move(copy));
-            continue;
+            note_expiry(ti, q.expires);
+            store_.query_copies[ti].append(query_pool_, h);
+            forwarded = true;
           }
         } else if (services.path_weight(to, copy.central) >
                        services.path_weight(from, copy.central) &&
@@ -249,70 +399,85 @@ void NclCachingScheme::transfer_direction(SimServices& services, NodeId from,
           services.count_bytes(kQueryBytes);
           note_query_seen(services, to, q);
           maybe_respond(services, to, q);
-          dst.query_copies.push_back(std::move(copy));
-          continue;
+          note_expiry(ti, q.expires);
+          store_.query_copies[ti].append(query_pool_, h);
+          forwarded = true;
         }
-        kept.push_back(std::move(copy));
+        if (!forwarded) kept.append(query_pool_, h);
+        h = next;
         continue;
       }
 
-      // Broadcast phase: replicate to caching members of this NCL.
+      // Broadcast phase: replicate to caching members of this NCL. The
+      // per-(node, central) entry counts answer membership in O(K)
+      // instead of the legacy any_of scan over the whole entry map.
       const bool member =
-          to == copy.central ||
-          std::any_of(dst.entries.begin(), dst.entries.end(),
-                      [&](const auto& kv) {
-                        return kv.second.central == copy.central;
-                      });
-      if (member && !dst.seen_queries.contains(q.id) &&
+          to == copy.central || central_count(ti, copy.central) > 0;
+      if (member && !store_.seen_queries[ti].contains(q.id) &&
           budget.consume(kQueryBytes)) {
         services.count_bytes(kQueryBytes);
         note_query_seen(services, to, q);
         maybe_respond(services, to, q);
-        dst.query_copies.push_back(copy);  // replicate, keep local copy
+        note_expiry(ti, q.expires);
+        store_.query_copies[ti].push_back(query_pool_, copy);  // replicate
       }
-      kept.push_back(std::move(copy));
+      kept.append(query_pool_, h);  // keep local copy
+      h = next;
     }
-    src.query_copies = std::move(kept);
+    store_.query_copies[fi] = kept;
   }
 
   // ---- 3. Push tokens: data copies towards central nodes. ----
   {
-    std::vector<PushToken> kept;
-    kept.reserve(src.push_tokens.size());
-    for (std::size_t ti = 0; ti < src.push_tokens.size(); ++ti) {
-      const PushToken token = src.push_tokens[ti];
+    BundleChain<PushToken> kept;
+    auto h = store_.push_tokens[fi].head;
+    store_.push_tokens[fi] = BundleChain<PushToken>{};
+    while (h != SlabPool<PushToken>::kNull) {
+      const auto next = token_pool_.next(h);
+      const PushToken token = token_pool_.get(h);
       const DataItem& item = services.data(token.data);
       if (!item.alive(now)) {
         // Expired in flight: drop token and any in-transit cached copy.
         ++counters_.tokens_expired;
+        token_pool_.release(h);
+        h = next;
         continue;
       }
       const double w_to = services.path_weight(to, token.central);
       const double w_from = services.path_weight(from, token.central);
       if (!(w_to > w_from)) {
-        kept.push_back(token);
+        kept.append(token_pool_, h);
+        h = next;
         continue;
       }
 
       auto release_source_copy = [&]() {
         // The relay deletes its own copy after forwarding (Sec. V-A) —
         // unless another token (already kept or still pending in this
-        // loop) needs it, or it has settled here.
-        const auto it = src.entries.find(token.data);
-        if (it == src.entries.end() || !it->second.in_transit) return;
-        const bool kept_needs = std::any_of(
-            kept.begin(), kept.end(),
-            [&](const PushToken& t) { return t.data == token.data; });
-        const bool pending_needs = std::any_of(
-            src.push_tokens.begin() + static_cast<std::ptrdiff_t>(ti) + 1,
-            src.push_tokens.end(),
-            [&](const PushToken& t) { return t.data == token.data; });
-        if (kept_needs || pending_needs) return;
-        src.buffer.erase(token.data);
-        src.entries.erase(it);
+        // loop) needs it, or it has settled here. The kept chain and the
+        // unprocessed remainder of the source chain are exactly the
+        // legacy `kept` vector and pending suffix.
+        const auto it = store_.entries[fi].find(token.data);
+        if (it == store_.entries[fi].end() || !it->second.in_transit) return;
+        bool needed = false;
+        for (auto kh = kept.head; kh != SlabPool<PushToken>::kNull;
+             kh = token_pool_.next(kh)) {
+          if (token_pool_.get(kh).data == token.data) {
+            needed = true;
+            break;
+          }
+        }
+        for (auto ph = next; !needed && ph != SlabPool<PushToken>::kNull;
+             ph = token_pool_.next(ph)) {
+          if (token_pool_.get(ph).data == token.data) needed = true;
+        }
+        if (needed) return;
+        store_.buffer[fi].erase(token.data);
+        central_count_add(fi, it->second.central, -1);
+        store_.entries[fi].erase(it);
       };
 
-      if (dst.entries.contains(token.data)) {
+      if (store_.entries[ti].contains(token.data)) {
         // The destination already caches this item. The central case means
         // this NCL is served: the copy settles and the token completes.
         // Otherwise the token WAITS at its current holder rather than
@@ -321,41 +486,48 @@ void NclCachingScheme::transfer_direction(SimServices& services, NodeId from,
         // central nodes would herd every token onto the same hub and
         // collapse the K per-NCL copies into one cache entry.
         if (to == token.central) {
-          dst.entries[token.data].in_transit = false;
+          store_.entries[ti].find(token.data)->second.in_transit = false;
           ++counters_.tokens_settled;
           ++counters_.token_hops;
           release_source_copy();
+          token_pool_.release(h);
         } else {
-          kept.push_back(token);
+          kept.append(token_pool_, h);
         }
+        h = next;
         continue;
       }
 
       // Traditional replacement strategies (Fig. 12) evict at insertion
       // time to admit the pushed copy; the utility strategy never evicts
       // here — a full buffer stops the push instead.
-      if (!dst.buffer.fits(item.size) &&
+      if (!store_.buffer[ti].fits(item.size) &&
           config_.strategy != CacheStrategy::kUtilityExchange) {
         evict_for(services, to, item);
       }
 
-      if (dst.buffer.fits(item.size)) {
+      if (store_.buffer[ti].fits(item.size)) {
         if (!budget.consume(item.size)) {
-          kept.push_back(token);  // try again at a later contact
+          kept.append(token_pool_, h);  // try again at a later contact
+          h = next;
           continue;
         }
         services.count_bytes(item.size);
-        const bool inserted = dst.buffer.insert(token.data, item.size);
+        const bool inserted = store_.buffer[ti].insert(token.data, item.size);
         DTN_CHECK(inserted, "push insert must succeed after fits() check");
-        dst.entries[token.data] = make_entry(services, to, item.size,
-                                             token.central, to != token.central);
+        put_entry(services, ti, token.data,
+                  make_entry(services, to, item.size, token.central,
+                             to != token.central));
         ++counters_.token_hops;
         if (to != token.central) {
-          dst.push_tokens.push_back(token);
+          note_expiry(ti, item.expires);
+          store_.push_tokens[ti].append(token_pool_, h);
         } else {
           ++counters_.tokens_settled;
         }
         release_source_copy();
+        if (to == token.central) token_pool_.release(h);
+        h = next;
         continue;
       }
 
@@ -368,45 +540,52 @@ void NclCachingScheme::transfer_direction(SimServices& services, NodeId from,
       // with space appears (cache replacement also keeps consolidating
       // popular data inward in the meantime).
       ++counters_.tokens_stopped_full;
-      if (!src.entries.contains(token.data)) {
+      if (!store_.entries[fi].contains(token.data)) {
         // The source holds only its native copy; park a cache copy here if
         // possible so the item is queryable at this NCL.
-        if (src.buffer.insert(token.data, item.size)) {
-          src.entries[token.data] =
-              make_entry(services, from, item.size, token.central, true);
+        if (store_.buffer[fi].insert(token.data, item.size)) {
+          put_entry(services, fi, token.data,
+                    make_entry(services, from, item.size, token.central, true));
         }
       }
-      kept.push_back(token);
+      kept.append(token_pool_, h);
+      h = next;
     }
-    src.push_tokens = std::move(kept);
+    store_.push_tokens[fi] = kept;
   }
 }
 
 void NclCachingScheme::run_replacement(SimServices& services, NodeId a,
                                        NodeId b, LinkBudget& budget) {
-  NodeState& na = state(a);
-  NodeState& nb = state(b);
-  if (na.entries.empty() && nb.entries.empty()) return;
+  const std::size_t ai = index(a);
+  const std::size_t bi = index(b);
+  auto& ea = store_.entries[ai];
+  auto& eb = store_.entries[bi];
+  if (ea.empty() && eb.empty()) return;
 
   // One exchange per NCL: each NCL holds its own copy of a data item
   // ("one copy of data is cached at each NCL", Sec. V), so copies assigned
   // to different central nodes never merge — pooling them together would
   // collapse the K per-NCL copies into one and destroy data accessibility.
-  std::vector<NodeId> centrals;
-  auto add_central = [&](const NodeState& ns) {
-    for (const auto& [id, entry] : ns.entries) {
-      if (std::find(centrals.begin(), centrals.end(), entry.central) ==
-          centrals.end()) {
-        centrals.push_back(entry.central);
+  // The per-(node, central) counts already know the distinct centrals, so
+  // no entry-map walk is needed; sorting makes the set order-independent,
+  // exactly like the legacy collect-then-sort.
+  ws_.centrals.clear();
+  auto add_centrals_from = [&](std::size_t ni) {
+    for (const auto& [central, count] : store_.central_counts[ni]) {
+      if (count <= 0) continue;
+      if (std::find(ws_.centrals.begin(), ws_.centrals.end(), central) ==
+          ws_.centrals.end()) {
+        ws_.centrals.push_back(central);
       }
     }
   };
-  add_central(na);
-  add_central(nb);
-  std::sort(centrals.begin(), centrals.end());  // deterministic order
+  add_centrals_from(ai);
+  add_centrals_from(bi);
+  std::sort(ws_.centrals.begin(), ws_.centrals.end());  // deterministic order
 
   bool any_pool = false;
-  for (NodeId central : centrals) {
+  for (NodeId central : ws_.centrals) {
     std::size_t duplicates = 0;
     const double weight_a = services.path_weight(a, central);
     const double weight_b = services.path_weight(b, central);
@@ -414,125 +593,142 @@ void NclCachingScheme::run_replacement(SimServices& services, NodeId a,
     // Same NCL, same item cached at both nodes: genuinely redundant —
     // collapse to the copy at the node nearer this central.
     {
-      std::vector<DataId> shared;
-      for (const auto& [id, entry] : na.entries) {
-        if (entry.central != central) continue;
-        auto it = nb.entries.find(id);
-        if (it != nb.entries.end() && it->second.central == central) {
-          shared.push_back(id);
+      ws_.shared.clear();
+      for (auto it = ea.begin(); it != ea.end(); ++it) {
+        if (it->second.central != central) continue;
+        const auto jt = eb.find(it->first);
+        if (jt != eb.end() && jt->second.central == central) {
+          ws_.shared.push_back(it->first);
         }
       }
-      for (DataId id : shared) {
-        NodeState& loser = weight_a >= weight_b ? nb : na;
-        loser.buffer.erase(id);
-        loser.entries.erase(id);
+      for (DataId id : ws_.shared) {
+        drop_entry(weight_a >= weight_b ? bi : ai, id);
         ++duplicates;
       }
     }
 
     // Pool the two nodes' copies belonging to this NCL; merge request
     // histories (tiny control data) so both sides agree on popularity.
-    std::vector<ReplacementItem> pool;
-    std::unordered_map<DataId, CacheEntry> original_entries;
-    auto collect = [&](NodeState& ns, bool at_a) {
-      for (auto it = ns.entries.begin(); it != ns.entries.end();) {
+    // ws_.original holds each pooled entry's metadata, parallel to
+    // ws_.pool — the legacy original_entries/by_id maps collapsed into
+    // index-aligned vectors (pools are small; lookups scan linearly).
+    ws_.pool.clear();
+    ws_.original.clear();
+    auto collect = [&](std::size_t ni, bool at_a) {
+      auto& na_history = store_.history[ai];
+      auto& nb_history = store_.history[bi];
+      auto& ns_entries = store_.entries[ni];
+      for (auto it = ns_entries.begin(); it != ns_entries.end();) {
         const DataId id = it->first;
         if (it->second.central != central) {
           ++it;
           continue;
         }
-        auto ha = na.history.find(id);
-        auto hb = nb.history.find(id);
-        if (ha != na.history.end() && hb != nb.history.end()) {
+        auto ha = na_history.find(id);
+        auto hb = nb_history.find(id);
+        if (ha != na_history.end() && hb != nb_history.end()) {
           ha->second.merge(hb->second);
           hb->second = ha->second;
-        } else if (ha != na.history.end()) {
-          nb.history[id] = ha->second;
-        } else if (hb != nb.history.end()) {
-          na.history[id] = hb->second;
+        } else if (ha != na_history.end()) {
+          nb_history[id] = ha->second;
+          note_expiry(bi, services.data(id).expires);
+        } else if (hb != nb_history.end()) {
+          na_history[id] = hb->second;
+          note_expiry(ai, services.data(id).expires);
         }
         ReplacementItem ri;
         ri.id = id;
         ri.size = it->second.size;
         ri.at_a = at_a;
         ri.popularity = popularity_of(services, at_a ? a : b, id);
-        pool.push_back(ri);
-        original_entries.emplace(id, it->second);
+        ws_.pool.push_back(ri);
+        ws_.original.push_back(it->second);
         ++it;
       }
     };
-    collect(na, true);
-    collect(nb, false);
-    if (pool.empty()) continue;
+    collect(ai, true);
+    collect(bi, false);
+    if (ws_.pool.empty()) continue;
     any_pool = true;
+    // What the legacy path allocated per exchange for this pool (the
+    // ReplacementItem vector plus the original_entries/by_id map nodes);
+    // an estimate for the perf story, not an exact malloc ledger.
+    DTN_COUNT_N(kSimBytesNotAllocated,
+                ws_.pool.size() * (sizeof(ReplacementItem) +
+                                   2 * sizeof(CacheEntry)));
 
     // Capacity available to this pool: free space plus the bytes the
     // pooled entries currently occupy at that node.
     auto pool_bytes_at = [&](bool at_a) {
       Bytes total = 0;
-      for (const auto& item : pool) {
+      for (const auto& item : ws_.pool) {
         if (item.at_a == at_a) total += item.size;
       }
       return total;
     };
-    const Bytes capacity_a = na.buffer.free() + pool_bytes_at(true);
-    const Bytes capacity_b = nb.buffer.free() + pool_bytes_at(false);
+    const Bytes capacity_a = store_.buffer[ai].free() + pool_bytes_at(true);
+    const Bytes capacity_b = store_.buffer[bi].free() + pool_bytes_at(false);
 
-    ReplacementPlan plan =
-        plan_replacement(pool, capacity_a, capacity_b, weight_a, weight_b,
-                         config_.replacement, services.rng());
+    plan_replacement(ws_.pool, capacity_a, capacity_b, weight_a, weight_b,
+                     config_.replacement, services.rng(), ws_.replan,
+                     ws_.plan);
 
     // Apply: lift all pooled entries, then re-insert the keeps. In-place
     // keeps are free; moves cost link budget.
-    std::unordered_map<DataId, ReplacementItem> by_id;
-    for (const auto& item : pool) by_id.emplace(item.id, item);
-    for (const auto& item : pool) {
-      NodeState& holder = item.at_a ? na : nb;
-      holder.buffer.erase(item.id);
-      holder.entries.erase(item.id);
+    for (const auto& item : ws_.pool) {
+      drop_entry(item.at_a ? ai : bi, item.id);
     }
 
     std::size_t moved = 0;
-    std::size_t dropped = plan.dropped.size() + duplicates;
-    auto restore_at_origin = [&](const ReplacementItem& item) {
-      NodeState& origin = item.at_a ? na : nb;
-      if (origin.buffer.insert(item.id, item.size)) {
+    std::size_t dropped = ws_.plan.dropped.size() + duplicates;
+    auto pool_index_of = [&](DataId id) {
+      for (std::size_t i = 0; i < ws_.pool.size(); ++i) {
+        if (ws_.pool[i].id == id) return i;
+      }
+      DTN_CHECK(false, "replacement plan references an item outside the pool");
+      return std::size_t{0};
+    };
+    auto restore_at_origin = [&](std::size_t pi) {
+      const ReplacementItem& item = ws_.pool[pi];
+      const std::size_t origin = item.at_a ? ai : bi;
+      if (store_.buffer[origin].insert(item.id, item.size)) {
         // Restore verbatim: an item that stays where it was keeps its
         // metadata — in particular a push-in-transit copy stays in
         // transit, so the relay still deletes it after forwarding.
-        origin.entries[item.id] = original_entries.at(item.id);
+        put_entry(services, origin, item.id, ws_.original[pi]);
         return true;
       }
       return false;
     };
     auto reinsert = [&](const std::vector<DataId>& keeps, bool to_a) {
-      NodeState& target = to_a ? na : nb;
+      const std::size_t target = to_a ? ai : bi;
       const NodeId target_id = to_a ? a : b;
       for (DataId id : keeps) {
-        const ReplacementItem& item = by_id.at(id);
+        const std::size_t pi = pool_index_of(id);
+        const ReplacementItem& item = ws_.pool[pi];
         const bool moving = item.at_a != to_a;
         if (moving && !budget.consume(item.size)) {
           // No link budget to realize the move: keep it where it was.
-          if (!restore_at_origin(item)) ++dropped;
+          if (!restore_at_origin(pi)) ++dropped;
           continue;
         }
         if (moving) services.count_bytes(item.size);
-        if (!target.buffer.insert(id, item.size)) {
+        if (!store_.buffer[target].insert(id, item.size)) {
           // Should not happen (plan respects capacities); degrade gracefully.
-          if (!restore_at_origin(item)) ++dropped;
+          if (!restore_at_origin(pi)) ++dropped;
           continue;
         }
         if (moving) {
-          target.entries[id] =
-              make_entry(services, target_id, item.size, central, false);
+          put_entry(services, target, id,
+                    make_entry(services, target_id, item.size, central, false));
           ++moved;
         } else {
-          target.entries[id] = original_entries.at(id);
+          put_entry(services, target, id, ws_.original[pi]);
         }
       }
     };
-    reinsert(plan.keep_at_a, true);
-    reinsert(plan.keep_at_b, false);
+    reinsert(ws_.plan.keep_at_a, true);
+    reinsert(ws_.plan.keep_at_b, false);
 
     if (moved + dropped > 0) services.count_replacement(moved + dropped);
     DTN_COUNT_N(kBufferEvictions, dropped);
@@ -542,6 +738,19 @@ void NclCachingScheme::run_replacement(SimServices& services, NodeId a,
 
 void NclCachingScheme::on_contact(SimServices& services, NodeId a, NodeId b,
                                   LinkBudget& budget) {
+  ws_.begin_contact();
+  // Bytes the legacy path's per-direction `kept` vector rebuilds would
+  // have allocated for the bundles now relinked in place (estimate).
+  DTN_COUNT_N(
+      kSimBytesNotAllocated,
+      (store_.responses[index(a)].size + store_.responses[index(b)].size) *
+              sizeof(ResponseBundle) +
+          (store_.query_copies[index(a)].size +
+           store_.query_copies[index(b)].size) *
+              sizeof(QueryCopy) +
+          (store_.push_tokens[index(a)].size +
+           store_.push_tokens[index(b)].size) *
+              sizeof(PushToken));
   prune_node_with_registry(services, a);
   prune_node_with_registry(services, b);
   transfer_direction(services, a, b, budget);
@@ -552,8 +761,9 @@ void NclCachingScheme::on_contact(SimServices& services, NodeId a, NodeId b,
   }
   // Buffer occupancy <= capacity after every contact event: pushes, reply
   // forwarding and the knapsack exchange all charge the same byte budget.
-  DTN_CHECK_LE(state(a).buffer.used(), state(a).buffer.capacity());
-  DTN_CHECK_LE(state(b).buffer.used(), state(b).buffer.capacity());
+  DTN_CHECK_LE(store_.buffer[index(a)].used(), store_.buffer[index(a)].capacity());
+  DTN_CHECK_LE(store_.buffer[index(b)].used(), store_.buffer[index(b)].capacity());
+  ws_.end_contact();
 }
 
 NclCachingScheme::CacheEntry NclCachingScheme::make_entry(
@@ -565,20 +775,19 @@ NclCachingScheme::CacheEntry NclCachingScheme::make_entry(
   entry.in_transit = in_transit;
   entry.inserted_at = services.now();
   entry.last_access = services.now();
-  const NodeState& ns = state(holder);
-  entry.h_value = ns.gds_l + 0.0;  // popularity 0 at insertion (footnote 3)
+  entry.h_value = store_.gds_l[static_cast<std::size_t>(holder)] +
+                  0.0;  // popularity 0 at insertion (footnote 3)
   return entry;
 }
 
 bool NclCachingScheme::evict_for(SimServices& services, NodeId node,
                                  const DataItem& item) {
-  NodeState& ns = state(node);
-  if (item.size > ns.buffer.capacity()) return false;
+  const std::size_t ni = index(node);
+  if (item.size > store_.buffer[ni].capacity()) return false;
 
   // Rank current entries by the active policy, cheapest victim first.
-  std::vector<std::pair<double, DataId>> ranked;
-  ranked.reserve(ns.entries.size());
-  for (const auto& [id, entry] : ns.entries) {
+  ws_.ranked.clear();
+  for (const auto& [id, entry] : store_.entries[ni]) {
     double key = 0.0;
     switch (config_.strategy) {
       case CacheStrategy::kFifo:
@@ -591,57 +800,111 @@ bool NclCachingScheme::evict_for(SimServices& services, NodeId node,
         key = entry.h_value;
         break;
       case CacheStrategy::kUtilityExchange:
-        return ns.buffer.fits(item.size);  // no insertion-time eviction
+        return store_.buffer[ni].fits(item.size);  // no insertion-time eviction
     }
-    ranked.emplace_back(key, id);
+    ws_.ranked.emplace_back(key, id);
   }
-  std::sort(ranked.begin(), ranked.end());
+  std::sort(ws_.ranked.begin(), ws_.ranked.end());
 
   std::size_t evicted = 0;
-  for (const auto& [key, victim] : ranked) {
-    if (ns.buffer.fits(item.size)) break;
-    if (config_.strategy == CacheStrategy::kGds) ns.gds_l = key;  // aging
-    ns.buffer.erase(victim);
-    ns.entries.erase(victim);
+  for (const auto& [key, victim] : ws_.ranked) {
+    if (store_.buffer[ni].fits(item.size)) break;
+    if (config_.strategy == CacheStrategy::kGds) store_.gds_l[ni] = key;  // aging
+    drop_entry(ni, victim);
     ++evicted;
   }
   if (evicted > 0) {
     services.count_replacement(evicted);
     DTN_COUNT_N(kBufferEvictions, evicted);
   }
-  return ns.buffer.fits(item.size);
+  return store_.buffer[ni].fits(item.size);
 }
 
 void NclCachingScheme::prune_node_with_registry(SimServices& services,
                                                 NodeId node) {
   const Time now = services.now();
-  NodeState& ns = state(node);
-  for (auto it = ns.entries.begin(); it != ns.entries.end();) {
-    if (!services.data(it->first).alive(now)) {
-      ns.buffer.erase(it->first);
-      it = ns.entries.erase(it);
+  const std::size_t ni = index(node);
+  // Everything this node holds provably expires after `now`: the scan
+  // below would erase nothing and mutate nothing — skip it. The bound is
+  // lowered at every insert site and restored exactly by each full scan.
+  if (now < store_.next_expiry[ni]) return;
+
+  Time earliest = kNever;
+  auto& entries = store_.entries[ni];
+  for (auto it = entries.begin(); it != entries.end();) {
+    const DataItem& item = services.data(it->first);
+    if (!item.alive(now)) {
+      store_.buffer[ni].erase(it->first);
+      central_count_add(ni, it->second.central, -1);
+      it = entries.erase(it);
     } else {
+      if (item.expires < earliest) earliest = item.expires;
       ++it;
     }
   }
-  std::erase_if(ns.push_tokens, [&](const PushToken& t) {
-    return !services.data(t.data).alive(now);
-  });
-  std::erase_if(ns.query_copies,
-                [&](const QueryCopy& c) { return !c.query.alive(now); });
-  std::erase_if(ns.responses,
-                [&](const ResponseBundle& r) { return !r.query.alive(now); });
-  for (auto it = ns.history.begin(); it != ns.history.end();) {
-    if (!services.data(it->first).alive(now)) {
-      it = ns.history.erase(it);
+  {
+    BundleChain<PushToken> kept;
+    auto h = store_.push_tokens[ni].head;
+    while (h != SlabPool<PushToken>::kNull) {
+      const auto next = token_pool_.next(h);
+      const DataItem& item = services.data(token_pool_.get(h).data);
+      if (!item.alive(now)) {
+        token_pool_.release(h);
+      } else {
+        if (item.expires < earliest) earliest = item.expires;
+        kept.append(token_pool_, h);
+      }
+      h = next;
+    }
+    store_.push_tokens[ni] = kept;
+  }
+  {
+    BundleChain<QueryCopy> kept;
+    auto h = store_.query_copies[ni].head;
+    while (h != SlabPool<QueryCopy>::kNull) {
+      const auto next = query_pool_.next(h);
+      const Query& q = query_pool_.get(h).query;
+      if (!q.alive(now)) {
+        query_pool_.release(h);
+      } else {
+        if (q.expires < earliest) earliest = q.expires;
+        kept.append(query_pool_, h);
+      }
+      h = next;
+    }
+    store_.query_copies[ni] = kept;
+  }
+  {
+    BundleChain<ResponseBundle> kept;
+    auto h = store_.responses[ni].head;
+    while (h != SlabPool<ResponseBundle>::kNull) {
+      const auto next = response_pool_.next(h);
+      const Query& q = response_pool_.get(h).query;
+      if (!q.alive(now)) {
+        response_pool_.release(h);
+      } else {
+        if (q.expires < earliest) earliest = q.expires;
+        kept.append(response_pool_, h);
+      }
+      h = next;
+    }
+    store_.responses[ni] = kept;
+  }
+  auto& history = store_.history[ni];
+  for (auto it = history.begin(); it != history.end();) {
+    const DataItem& item = services.data(it->first);
+    if (!item.alive(now)) {
+      it = history.erase(it);
     } else {
+      if (item.expires < earliest) earliest = item.expires;
       ++it;
     }
   }
+  store_.next_expiry[ni] = earliest;
 }
 
 void NclCachingScheme::on_maintenance(SimServices& services) {
-  for (NodeId node = 0; node < static_cast<NodeId>(nodes_.size()); ++node) {
+  for (NodeId node = 0; node < static_cast<NodeId>(store_.size()); ++node) {
     prune_node_with_registry(services, node);
   }
   if (config_.dynamic_ncl) reselect_centrals(services);
@@ -651,11 +914,13 @@ void NclCachingScheme::reselect_centrals(SimServices& services) {
   const AllPairsPaths& paths = services.paths();
   if (paths.empty()) return;
   const NodeId n = std::min<NodeId>(paths.node_count(),
-                                    static_cast<NodeId>(nodes_.size()));
+                                    static_cast<NodeId>(store_.size()));
   if (n < 2) return;
 
   // The NCL metric of Eq. 3, computed from the already-available path
   // tables: the mean weight with which the other nodes reach each node.
+  // Maintenance-tick cadence, not the contact hot path — the local
+  // containers here are fine.
   std::vector<std::pair<double, NodeId>> ranked;
   ranked.reserve(static_cast<std::size_t>(n));
   for (NodeId i = 0; i < n; ++i) {
@@ -676,14 +941,18 @@ void NclCachingScheme::reselect_centrals(SimServices& services) {
   }
   if (fresh.empty() || fresh == config_.central_nodes) return;
   config_.central_nodes = std::move(fresh);
+  is_central_.assign(store_.size(), 0);
+  for (NodeId c : config_.central_nodes) {
+    is_central_[static_cast<std::size_t>(c)] = 1;
+  }
 
   // Re-home cached copies whose NCL no longer exists: assign each to the
   // current central its holder reaches best, so query broadcasts and
   // replacement keep finding them instead of serving a ghost NCL.
-  for (NodeId holder = 0; holder < static_cast<NodeId>(nodes_.size());
+  for (NodeId holder = 0; holder < static_cast<NodeId>(store_.size());
        ++holder) {
-    NodeState& ns = state(holder);
-    if (ns.entries.empty() && ns.push_tokens.empty()) continue;
+    const std::size_t hi = static_cast<std::size_t>(holder);
+    if (store_.entries[hi].empty() && store_.push_tokens[hi].empty()) continue;
     NodeId best = config_.central_nodes.front();
     double best_weight = -1.0;
     for (NodeId c : config_.central_nodes) {
@@ -693,12 +962,18 @@ void NclCachingScheme::reselect_centrals(SimServices& services) {
         best = c;
       }
     }
-    for (auto& [id, entry] : ns.entries) {
-      if (!is_central(entry.central)) entry.central = best;
+    for (auto& [id, entry] : store_.entries[hi]) {
+      if (!is_central(entry.central)) {
+        central_count_add(hi, entry.central, -1);
+        central_count_add(hi, best, +1);
+        entry.central = best;
+      }
     }
     // Push tokens towards a dead central redirect to the holder's best
     // current central (dedup: only one token per (data, central) pair).
-    for (auto& token : ns.push_tokens) {
+    for (auto h = store_.push_tokens[hi].head;
+         h != SlabPool<PushToken>::kNull; h = token_pool_.next(h)) {
+      PushToken& token = token_pool_.get(h);
       if (!is_central(token.central)) token.central = best;
     }
   }
@@ -706,14 +981,14 @@ void NclCachingScheme::reselect_centrals(SimServices& services) {
 
 std::size_t NclCachingScheme::cached_copies(Time now) const {
   std::size_t count = 0;
-  for (const auto& ns : nodes_) count += ns.entries.size();
+  for (const auto& entries : store_.entries) count += entries.size();
   (void)now;  // maintenance pruning keeps entries fresh
   return count;
 }
 
 Bytes NclCachingScheme::cached_bytes(Time now) const {
   Bytes total = 0;
-  for (const auto& ns : nodes_) total += ns.buffer.used();
+  for (const auto& buffer : store_.buffer) total += buffer.used();
   (void)now;
   return total;
 }

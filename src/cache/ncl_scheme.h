@@ -20,6 +20,23 @@
 //  * REPLACEMENT — whenever two nodes with cached data meet, the pooled
 //    items are re-assigned by the probabilistic knapsack of Sec. V-D
 //    (cache/replacement.h), migrating popular data towards the centrals.
+//
+// Memory model (this is the SimEngine::kFast implementation; the legacy
+// per-object layout survives as cache/ncl_scheme_reference.h):
+//  * Node state is structure-of-arrays — one vector per field across all
+//    nodes (NodeStore) instead of a vector of fat NodeState objects.
+//  * In-flight bundles (push tokens, query copies, responses) live in
+//    SlabPool slabs and are threaded through per-node BundleChain intrusive
+//    lists; a contact relinks bundles between nodes instead of rebuilding
+//    "kept" vectors, so the steady-state exchange allocates nothing.
+//  * Per-contact scratch (replacement pools, eviction ranking, plan
+//    buffers) lives in a reusable ContactWorkspace.
+//  * The id-keyed metadata maps (`entries`, `history`) deliberately REMAIN
+//    std::unordered_map: the replacement exchange pools items in map
+//    iteration order and draws one Bernoulli per pooled item in
+//    utility-sorted order, so iteration order is observable through the RNG
+//    stream. Keeping the container (and the exact operation sequence)
+//    keeps the fast scheme bit-identical to the reference oracle.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +49,7 @@
 #include "cache/popularity.h"
 #include "cache/replacement.h"
 #include "cache/response.h"
+#include "common/arena.h"
 #include "net/buffer.h"
 #include "sim/scheme.h"
 
@@ -99,7 +117,11 @@ class NclCachingScheme : public Scheme {
   ///  * every cache entry is backed by buffer accounting with the same size
   ///    and matches the registry's size for that item;
   ///  * per-node entry bytes exactly equal the buffer's used bytes;
-  ///  * no buffer exceeds its capacity.
+  ///  * no buffer exceeds its capacity;
+  ///  * the per-(node, central) entry counts used for O(1) NCL-membership
+  ///    tests agree with the entry maps;
+  ///  * every per-node earliest-expiry bound is a true lower bound on the
+  ///    expiry of everything the node holds (entries, histories, bundles).
   /// Returns false on the first violation.
   bool check_invariants(const DataRegistry& registry) const;
 
@@ -144,27 +166,69 @@ class NclCachingScheme : public Scheme {
     Bytes size = 0;
   };
 
-  struct NodeState {
-    CacheBuffer buffer{0};
-    std::unordered_map<DataId, CacheEntry> entries;
-    double gds_l = 0.0;  ///< Greedy-Dual-Size aging level
-    /// Request history per data id, fed by queries this node has seen.
-    std::unordered_map<DataId, PopularityEstimator> history;
-    std::vector<PushToken> push_tokens;
-    std::vector<QueryCopy> query_copies;
-    std::vector<ResponseBundle> responses;
-    /// Queries this node has already accepted a broadcast/routed copy of.
-    std::unordered_set<QueryId> seen_queries;
-    /// Queries this node has already decided a response for.
-    std::unordered_set<QueryId> responded;
-    /// FIFO of seen query ids for bounded eviction.
-    std::deque<QueryId> seen_order;
+ public:
+  /// Reusable per-contact scratch. One workspace serves every contact of a
+  /// run in strict sequence: begin_contact() / end_contact() bracket each
+  /// contact, and beginning a contact while another is active is a
+  /// DTN_CHECK abort (tests/check_test.cpp) — overlapping use would let
+  /// two contacts corrupt each other's replacement pools.
+  class ContactWorkspace {
+   public:
+    void begin_contact();
+    void end_contact();
+    bool active() const { return active_; }
+
+   private:
+    friend class NclCachingScheme;
+
+    bool active_ = false;
+    bool used_ = false;  ///< true after the first contact (reuse counter)
+
+    // Replacement-exchange scratch, cleared per central with capacity kept.
+    std::vector<NodeId> centrals;
+    std::vector<DataId> shared;
+    std::vector<ReplacementItem> pool;
+    std::vector<CacheEntry> original;  ///< parallel to `pool`
+    ReplacementPlan plan;
+    ReplacementWorkspace replan;
+    // Insertion-time eviction ranking (FIFO/LRU/GDS strategies).
+    std::vector<std::pair<double, DataId>> ranked;
   };
 
-  NodeState& state(NodeId node) { return nodes_.at(static_cast<std::size_t>(node)); }
-  const NodeState& state(NodeId node) const {
-    return nodes_.at(static_cast<std::size_t>(node));
-  }
+ private:
+  /// Structure-of-arrays node state: index = NodeId. See the header comment
+  /// for which fields are flat pools and which stay node-based maps (and
+  /// why).
+  struct NodeStore {
+    std::vector<CacheBuffer> buffer;
+    std::vector<std::unordered_map<DataId, CacheEntry>> entries;
+    std::vector<double> gds_l;  ///< Greedy-Dual-Size aging level
+    /// Request history per data id, fed by queries this node has seen.
+    std::vector<std::unordered_map<DataId, PopularityEstimator>> history;
+    std::vector<BundleChain<PushToken>> push_tokens;
+    std::vector<BundleChain<QueryCopy>> query_copies;
+    std::vector<BundleChain<ResponseBundle>> responses;
+    /// Queries this node has already accepted a broadcast/routed copy of.
+    std::vector<std::unordered_set<QueryId>> seen_queries;
+    /// Queries this node has already decided a response for.
+    std::vector<std::unordered_set<QueryId>> responded;
+    /// FIFO of seen query ids for bounded eviction.
+    std::vector<std::deque<QueryId>> seen_order;
+    /// Conservative lower bound on the earliest expiry of anything the
+    /// node holds; prune scans are skipped while now < next_expiry (the
+    /// scan would provably erase nothing). Stale-low after erasures, reset
+    /// exactly by every full scan.
+    std::vector<Time> next_expiry;
+    /// Cached entries per (node, central): O(1) NCL-membership tests in
+    /// the query-broadcast phase and O(K) central collection in the
+    /// replacement exchange, replacing per-contact entry-map walks.
+    std::vector<std::vector<std::pair<NodeId, std::int32_t>>> central_counts;
+
+    std::size_t size() const { return buffer.size(); }
+    void resize(std::size_t n);
+  };
+
+  std::size_t index(NodeId node) const;
 
   bool is_central(NodeId node) const;
   double popularity_of(SimServices& services, NodeId node, DataId data) const;
@@ -188,13 +252,33 @@ class NclCachingScheme : public Scheme {
   /// the item now fits.
   bool evict_for(SimServices& services, NodeId node, const DataItem& item);
   /// Drops expired cached data, tokens, queries and responses at `node`.
+  /// No-ops in O(1) while the node's next_expiry bound proves every held
+  /// object is still alive.
   void prune_node_with_registry(SimServices& services, NodeId node);
   /// Dynamic-NCL extension: re-derive the top-K central nodes from the
   /// current path tables.
   void reselect_centrals(SimServices& services);
 
+  /// Lowers the node's earliest-expiry bound (called at every site that
+  /// hands the node an expirable object).
+  void note_expiry(std::size_t node, Time expires);
+  /// Adjusts the (node, central) entry count; delta is +1 / -1 per entry.
+  void central_count_add(std::size_t node, NodeId central, int delta);
+  std::int32_t central_count(std::size_t node, NodeId central) const;
+  /// Inserts a fresh cache entry (map + central count + expiry bound).
+  void put_entry(SimServices& services, std::size_t node, DataId id,
+                 const CacheEntry& entry);
+  /// Erases an entry from map + buffer + central count. Returns false when
+  /// absent.
+  bool drop_entry(std::size_t node, DataId id);
+
   NclSchemeConfig config_;
-  std::vector<NodeState> nodes_;
+  NodeStore store_;
+  SlabPool<PushToken> token_pool_;
+  SlabPool<QueryCopy> query_pool_;
+  SlabPool<ResponseBundle> response_pool_;
+  ContactWorkspace ws_;
+  std::vector<std::uint8_t> is_central_;  ///< O(1) bitmap over node ids
   std::unordered_set<QueryId> satisfied_;  ///< requester got the data
   std::uint64_t responses_sent_ = 0;
   std::uint64_t replacement_exchanges_ = 0;

@@ -179,4 +179,199 @@ ReplacementPlan plan_replacement(const std::vector<ReplacementItem>& pool,
   return plan;
 }
 
+namespace {
+
+/// Stable insertion sort of ws-order indices, descending by precomputed
+/// utility. Produces the unique stable-descending permutation — the same
+/// one std::stable_sort yields in the oracle overload — without the merge
+/// buffer stable_sort allocates per round.
+void sort_by_utility_desc(std::vector<std::size_t>& order,
+                          const std::vector<double>& utilities) {
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const std::size_t key = order[i];
+    std::size_t j = i;
+    while (j > 0 && utilities[order[j - 1]] < utilities[key]) {
+      order[j] = order[j - 1];
+      --j;
+    }
+    order[j] = key;
+  }
+}
+
+/// Workspace twin of primary_select: identical decisions, identical RNG
+/// consumption sequence. `utilities` must already hold u_i for this node.
+void primary_select_ws(const std::vector<ReplacementItem>& pool,
+                       ReplacementWorkspace& ws,
+                       std::vector<std::size_t>& taken, Bytes& free,
+                       const ReplacementConfig& config, Rng& rng) {
+  auto smallest_fits = [&]() {
+    for (std::size_t idx : ws.available) {
+      if (pool[idx].size <= free) return true;
+    }
+    return false;
+  };
+  auto take = [&](std::size_t idx) {
+    taken.push_back(idx);
+    free -= pool[idx].size;
+    // Algorithm 1 only caches items that fit, so the running free-space
+    // budget can never go negative.
+    DTN_CHECK_GE(free, 0);
+    ws.available.erase(
+        std::find(ws.available.begin(), ws.available.end(), idx));
+  };
+
+  if (config.probabilistic) {
+    for (int round = 0; round < config.max_rounds; ++round) {
+      if (ws.available.empty() || !smallest_fits()) break;
+      ws.order.assign(ws.available.begin(), ws.available.end());
+      sort_by_utility_desc(ws.order, ws.utilities);
+      for (std::size_t idx : ws.order) {
+        if (pool[idx].size > free) continue;
+        if (rng.bernoulli(ws.utilities[idx])) take(idx);
+      }
+    }
+    return;
+  }
+
+  if (ws.available.empty() || !smallest_fits()) return;
+  ws.knap_items.clear();
+  for (std::size_t idx : ws.available) {
+    ws.knap_items.push_back({ws.utilities[idx], pool[idx].size});
+  }
+  solve_knapsack(ws.knap_items, free, config.knapsack_unit, ws.knapsack,
+                 ws.knap_result);
+  ws.picks.clear();
+  for (std::size_t k : ws.knap_result.selected) {
+    ws.picks.push_back(ws.available[k]);
+  }
+  for (std::size_t idx : ws.picks) {
+    if (pool[idx].size <= free) take(idx);
+  }
+}
+
+}  // namespace
+
+void plan_replacement(const std::vector<ReplacementItem>& pool,
+                      Bytes capacity_a, Bytes capacity_b, double weight_a,
+                      double weight_b, const ReplacementConfig& config,
+                      Rng& rng, ReplacementWorkspace& ws,
+                      ReplacementPlan& out) {
+  if (capacity_a < 0 || capacity_b < 0) {
+    throw std::invalid_argument("negative capacity");
+  }
+  DTN_SCOPED_TIMER(kReplacementPlan);
+  DTN_COUNT(kReplacementPlans);
+  DTN_COUNT_N(kReplacementItemsPooled, pool.size());
+  ws.ids.clear();
+  for (const auto& item : pool) {
+    if (item.size <= 0) throw std::invalid_argument("item size must be > 0");
+    ws.ids.push_back(item.id);
+  }
+  std::sort(ws.ids.begin(), ws.ids.end());
+  if (std::adjacent_find(ws.ids.begin(), ws.ids.end()) != ws.ids.end()) {
+    throw std::invalid_argument("duplicate data id in replacement pool");
+  }
+
+  ws.available.resize(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) ws.available[i] = i;
+  ws.taken_a.clear();
+  ws.taken_b.clear();
+  Bytes free_a = capacity_a;
+  Bytes free_b = capacity_b;
+
+  // The node nearer the central picks first (Sec. V-D.2). Utilities are
+  // precomputed per node: utility_of is pure in (item, weight), so the
+  // values — and the DTN_CHECK_PROB contract on them — match the oracle's
+  // per-comparison evaluations exactly.
+  auto fill_utilities = [&](double weight) {
+    ws.utilities.resize(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      const double u = pool[i].popularity * weight;
+      DTN_CHECK_PROB(u);
+      ws.utilities[i] = u;
+    }
+  };
+  const bool a_first = weight_a >= weight_b;
+  fill_utilities(a_first ? weight_a : weight_b);
+  primary_select_ws(pool, ws, a_first ? ws.taken_a : ws.taken_b,
+                    a_first ? free_a : free_b, config, rng);
+  fill_utilities(a_first ? weight_b : weight_a);
+  primary_select_ws(pool, ws, a_first ? ws.taken_b : ws.taken_a,
+                    a_first ? free_b : free_a, config, rng);
+
+  // Anti-drop pass, after BOTH primaries (see the oracle overload for the
+  // rationale). Higher-utility items are rescued first.
+  if (!ws.available.empty()) {
+    ws.order.assign(ws.available.begin(), ws.available.end());
+    // Stable insertion sort: popularity descending, then size ascending —
+    // the oracle's stable_sort comparator.
+    for (std::size_t i = 1; i < ws.order.size(); ++i) {
+      const std::size_t key = ws.order[i];
+      std::size_t j = i;
+      auto before = [&](std::size_t x, std::size_t y) {
+        if (pool[x].popularity != pool[y].popularity) {
+          return pool[x].popularity > pool[y].popularity;
+        }
+        return pool[x].size < pool[y].size;
+      };
+      while (j > 0 && before(key, ws.order[j - 1])) {
+        ws.order[j] = ws.order[j - 1];
+        --j;
+      }
+      ws.order[j] = key;
+    }
+    ws.rescued.clear();
+    for (std::size_t idx : ws.order) {
+      std::vector<std::size_t>& resident =
+          pool[idx].at_a ? ws.taken_a : ws.taken_b;
+      std::vector<std::size_t>& other =
+          pool[idx].at_a ? ws.taken_b : ws.taken_a;
+      Bytes& resident_free = pool[idx].at_a ? free_a : free_b;
+      Bytes& other_free = pool[idx].at_a ? free_b : free_a;
+      if (pool[idx].size <= resident_free) {
+        resident.push_back(idx);
+        resident_free -= pool[idx].size;
+        ws.rescued.push_back(idx);
+      } else if (pool[idx].size <= other_free) {
+        other.push_back(idx);
+        other_free -= pool[idx].size;
+        ws.rescued.push_back(idx);
+      }
+    }
+    for (std::size_t idx : ws.rescued) {
+      ws.available.erase(
+          std::find(ws.available.begin(), ws.available.end(), idx));
+    }
+  }
+
+  out.keep_at_a.clear();
+  out.keep_at_b.clear();
+  out.dropped.clear();
+  out.moved.clear();
+  out.moved_bytes = 0;
+  auto record = [&](const std::vector<std::size_t>& taken, bool is_a) {
+    for (std::size_t idx : taken) {
+      const ReplacementItem& item = pool[idx];
+      (is_a ? out.keep_at_a : out.keep_at_b).push_back(item.id);
+      if (item.at_a != is_a) {
+        out.moved.push_back(item.id);
+        out.moved_bytes += item.size;
+      }
+    }
+  };
+  record(ws.taken_a, true);
+  record(ws.taken_b, false);
+  for (std::size_t idx : ws.available) out.dropped.push_back(pool[idx].id);
+
+  // Eq. 7 / Algorithm 1 contract: the plan is a partition of the pooled
+  // items — every item is kept at A, kept at B, or explicitly dropped — and
+  // neither node's selection exceeds its capacity.
+  DTN_CHECK(out.keep_at_a.size() + out.keep_at_b.size() +
+                    out.dropped.size() ==
+                pool.size(),
+            "replacement plan preserves the union of pooled items");
+  DTN_CHECK_GE(free_a, 0);
+  DTN_CHECK_GE(free_b, 0);
+}
+
 }  // namespace dtn

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "cache/knapsack.h"
 #include "common/rng.h"
 #include "common/types.h"
 
@@ -58,9 +59,41 @@ struct ReplacementPlan {
 ///    central node (p_A, p_B). The higher-weight node selects first, and
 ///    utilities are u_i = popularity_i * weight (Sec. V-D).
 /// Duplicate data ids in the pool are not allowed.
+///
+/// This overload is the legacy allocating implementation, kept verbatim as
+/// the oracle for the workspace form below (tests/property_test.cpp runs
+/// both under identical RNG seeds and asserts identical plans).
 ReplacementPlan plan_replacement(const std::vector<ReplacementItem>& pool,
                                  Bytes capacity_a, Bytes capacity_b,
                                  double weight_a, double weight_b,
                                  const ReplacementConfig& config, Rng& rng);
+
+/// Reusable scratch for the allocation-free plan_replacement overload: all
+/// per-call containers live here and retain capacity across exchanges.
+struct ReplacementWorkspace {
+  std::vector<std::size_t> available;
+  std::vector<std::size_t> order;
+  std::vector<std::size_t> rescued;
+  std::vector<std::size_t> taken_a;
+  std::vector<std::size_t> taken_b;
+  std::vector<std::size_t> picks;
+  std::vector<double> utilities;  ///< per pool index, for the active node
+  std::vector<DataId> ids;        ///< duplicate-id validation scratch
+  std::vector<KnapsackItem> knap_items;
+  KnapsackWorkspace knapsack;
+  KnapsackResult knap_result;
+};
+
+/// Allocation-free form: identical protocol decisions and — critically —
+/// an identical RNG consumption sequence to the oracle overload above (the
+/// per-round utility ordering is the same stable-descending permutation,
+/// produced by an in-place insertion sort over precomputed utilities
+/// instead of std::stable_sort's buffer-allocating merge). `out` is
+/// cleared and refilled; its vectors retain capacity across calls.
+void plan_replacement(const std::vector<ReplacementItem>& pool,
+                      Bytes capacity_a, Bytes capacity_b, double weight_a,
+                      double weight_b, const ReplacementConfig& config,
+                      Rng& rng, ReplacementWorkspace& ws,
+                      ReplacementPlan& out);
 
 }  // namespace dtn

@@ -1,0 +1,54 @@
+#include "common/arena.h"
+
+namespace dtn {
+
+namespace {
+
+bool is_power_of_two(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+std::size_t align_up(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes) {
+  DTN_CHECK(chunk_bytes_ > 0, "arena chunk size must be positive");
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  DTN_CHECK(is_power_of_two(align), "arena alignment must be a power of two");
+  if (bytes == 0) bytes = 1;
+
+  // Try the active chunk, then any later retained chunk (left over from a
+  // previous high-water mark); only allocate a fresh chunk when none fits.
+  for (std::size_t i = active_; i < chunks_.size(); ++i) {
+    Chunk& c = chunks_[i];
+    const std::size_t start = align_up(c.cursor, align);
+    if (start + bytes <= c.size) {
+      active_ = i;
+      used_ += (start - c.cursor) + bytes;  // alignment padding + payload
+      c.cursor = start + bytes;
+      return c.data.get() + start;
+    }
+  }
+
+  const std::size_t size = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+  Chunk c;
+  c.data = std::make_unique<std::byte[]>(size);
+  c.size = size;
+  c.cursor = bytes;
+  capacity_ += size;
+  used_ += bytes;
+  chunks_.push_back(std::move(c));
+  active_ = chunks_.size() - 1;
+  return chunks_.back().data.get();
+}
+
+void Arena::reset() {
+  for (Chunk& c : chunks_) c.cursor = 0;
+  active_ = 0;
+  used_ = 0;
+}
+
+}  // namespace dtn

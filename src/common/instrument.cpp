@@ -36,6 +36,9 @@ constexpr std::array<const char*, kCounterCount> kCounterNames = {
     "path_scratch_reuses",
     "path_bytes_not_allocated",
     "parent_chain_walks",
+    "contact_workspace_reuses",
+    "bundle_pool_hits",
+    "sim_bytes_not_allocated",
 };
 
 constexpr std::array<const char*, kTimerCount> kTimerNames = {

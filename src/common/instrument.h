@@ -62,6 +62,9 @@ enum class Counter : int {
   kPathScratchReuses,           ///< relaxations served from workspace scratch
   kPathBytesNotAllocated,       ///< bytes the legacy per-relaxation copy used
   kParentChainWalks,            ///< rate chains materialized via next_hop walk
+  kContactWorkspaceReuses,      ///< contact workspaces reused without realloc
+  kBundlePoolHits,              ///< bundle slots recycled from the free list
+  kSimBytesNotAllocated,        ///< bytes the legacy per-contact path allocated
   kCount
 };
 

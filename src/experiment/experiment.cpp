@@ -10,6 +10,7 @@
 #include "baselines/cache_data.h"
 #include "baselines/no_cache.h"
 #include "baselines/random_cache.h"
+#include "cache/ncl_scheme_reference.h"
 #include "graph/ncl.h"
 
 namespace dtn {
@@ -84,6 +85,9 @@ std::unique_ptr<Scheme> make_scheme(SchemeKind kind,
       c.strategy = config.strategy;
       c.enable_replacement = config.enable_replacement;
       c.dynamic_ncl = config.dynamic_ncl;
+      if (config.sim.sim_engine == SimEngine::kReference) {
+        return std::make_unique<NclCachingSchemeReference>(std::move(c));
+      }
       return std::make_unique<NclCachingScheme>(std::move(c));
     }
     case SchemeKind::kNoCache: {

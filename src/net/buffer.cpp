@@ -1,19 +1,92 @@
 #include "net/buffer.h"
 
+#include <cstdint>
 #include <stdexcept>
 
 #include "common/check.h"
 
 namespace dtn {
 
+namespace {
+
+// splitmix64 finalizer: std::hash<int64> is the identity in libstdc++, and
+// sequential data ids would cluster badly under a power-of-two mask.
+std::size_t mix_id(DataId id) {
+  std::uint64_t x = static_cast<std::uint64_t>(id);
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return static_cast<std::size_t>(x ^ (x >> 31));
+}
+
+}  // namespace
+
 CacheBuffer::CacheBuffer(Bytes capacity) : capacity_(capacity) {
   if (capacity < 0) throw std::invalid_argument("negative buffer capacity");
 }
 
+std::size_t CacheBuffer::find_slot(DataId id) const {
+  if (slot_states_.empty()) return kNotFound;
+  const std::size_t mask = slot_states_.size() - 1;
+  std::size_t i = mix_id(id) & mask;
+  while (slot_states_[i] != kEmpty) {
+    if (slot_states_[i] == kLive && slot_ids_[i] == id) return i;
+    i = (i + 1) & mask;
+  }
+  return kNotFound;
+}
+
+void CacheBuffer::rehash(std::size_t slot_count) {
+  std::vector<DataId> old_ids = std::move(slot_ids_);
+  std::vector<Bytes> old_sizes = std::move(slot_sizes_);
+  std::vector<std::uint8_t> old_states = std::move(slot_states_);
+
+  slot_ids_.assign(slot_count, DataId{0});
+  slot_sizes_.assign(slot_count, Bytes{0});
+  slot_states_.assign(slot_count, kEmpty);
+  occupied_ = count_;
+
+  const std::size_t mask = slot_count - 1;
+  for (std::size_t i = 0; i < old_states.size(); ++i) {
+    if (old_states[i] != kLive) continue;
+    std::size_t j = mix_id(old_ids[i]) & mask;
+    while (slot_states_[j] != kEmpty) j = (j + 1) & mask;
+    slot_ids_[j] = old_ids[i];
+    slot_sizes_[j] = old_sizes[i];
+    slot_states_[j] = kLive;
+  }
+}
+
+Bytes CacheBuffer::size_of(DataId id) const {
+  const std::size_t slot = find_slot(id);
+  if (slot == kNotFound) throw std::out_of_range("data id not in buffer");
+  return slot_sizes_[slot];
+}
+
 bool CacheBuffer::insert(DataId id, Bytes size) {
   if (size <= 0) throw std::invalid_argument("entry size must be positive");
-  if (sizes_.contains(id) || size > free()) return false;
-  sizes_.emplace(id, size);
+  if (contains(id) || size > free()) return false;
+
+  // Keep occupancy (live + tombstones) under 7/8 so probes terminate fast.
+  // When live entries alone justify the current size, rehashing in place
+  // just purges tombstones — the table doubles only with real growth.
+  if (slot_states_.empty()) {
+    rehash(8);
+  } else if ((occupied_ + 1) * 8 > slot_states_.size() * 7) {
+    const std::size_t needed =
+        (count_ + 1) * 8 > slot_states_.size() * 7 ? slot_states_.size() * 2
+                                                   : slot_states_.size();
+    rehash(needed);
+  }
+
+  const std::size_t mask = slot_states_.size() - 1;
+  std::size_t i = mix_id(id) & mask;
+  while (slot_states_[i] == kLive) i = (i + 1) & mask;
+  if (slot_states_[i] == kEmpty) ++occupied_;
+  slot_ids_[i] = id;
+  slot_sizes_[i] = size;
+  slot_states_[i] = kLive;
+  ++count_;
   used_ += size;
   // The class invariant ("used() <= capacity() at all times") is the
   // paper's basic prerequisite of a limited caching buffer.
@@ -22,18 +95,21 @@ bool CacheBuffer::insert(DataId id, Bytes size) {
 }
 
 bool CacheBuffer::erase(DataId id) {
-  auto it = sizes_.find(id);
-  if (it == sizes_.end()) return false;
-  used_ -= it->second;
-  sizes_.erase(it);
+  const std::size_t slot = find_slot(id);
+  if (slot == kNotFound) return false;
+  used_ -= slot_sizes_[slot];
+  slot_states_[slot] = kTombstone;
+  --count_;
   DTN_CHECK_GE(used_, 0);
   return true;
 }
 
 std::vector<DataId> CacheBuffer::items() const {
   std::vector<DataId> result;
-  result.reserve(sizes_.size());
-  for (const auto& [id, size] : sizes_) result.push_back(id);
+  result.reserve(count_);
+  for (std::size_t i = 0; i < slot_states_.size(); ++i) {
+    if (slot_states_[i] == kLive) result.push_back(slot_ids_[i]);
+  }
   return result;
 }
 

@@ -3,9 +3,15 @@
 // Every node has a limited caching buffer (the paper's "basic prerequisite");
 // this class enforces the byte budget and tracks which data ids are held.
 // Higher-level metadata (popularity, NCL assignment) is kept by the schemes.
+//
+// Storage is structure-of-arrays: an open-addressing table of parallel
+// id/size/state vectors instead of one heap node per entry. Lookups stay
+// O(1) expected, but the steady-state hot path (insert/erase churn with a
+// stable working set) touches no allocator — the table grows by doubling
+// and then recycles tombstoned slots in place.
 #pragma once
 
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "common/types.h"
@@ -21,12 +27,12 @@ class CacheBuffer {
   Bytes capacity() const { return capacity_; }
   Bytes used() const { return used_; }
   Bytes free() const { return capacity_ - used_; }
-  std::size_t count() const { return sizes_.size(); }
-  bool empty() const { return sizes_.empty(); }
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
 
-  bool contains(DataId id) const { return sizes_.contains(id); }
+  bool contains(DataId id) const { return find_slot(id) != kNotFound; }
   /// Size of the stored entry; throws std::out_of_range when absent.
-  Bytes size_of(DataId id) const { return sizes_.at(id); }
+  Bytes size_of(DataId id) const;
 
   /// True if a new entry of `size` bytes would fit right now.
   bool fits(Bytes size) const { return size <= free(); }
@@ -42,9 +48,19 @@ class CacheBuffer {
   std::vector<DataId> items() const;
 
  private:
+  enum : std::uint8_t { kEmpty = 0, kLive = 1, kTombstone = 2 };
+  static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
+
+  std::size_t find_slot(DataId id) const;
+  void rehash(std::size_t slot_count);
+
   Bytes capacity_;
   Bytes used_ = 0;
-  std::unordered_map<DataId, Bytes> sizes_;
+  std::size_t count_ = 0;
+  std::size_t occupied_ = 0;  ///< live + tombstoned slots
+  std::vector<DataId> slot_ids_;
+  std::vector<Bytes> slot_sizes_;
+  std::vector<std::uint8_t> slot_states_;
 };
 
 }  // namespace dtn

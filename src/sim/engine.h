@@ -19,6 +19,17 @@
 
 namespace dtn {
 
+/// Scheme-implementation engine for the simulator hot loop. kFast runs the
+/// SoA/arena NclCachingScheme (pooled bundle chains, reusable per-contact
+/// workspaces, zero steady-state allocations); kReference runs the legacy
+/// per-object implementation preserved verbatim as NclCachingSchemeReference.
+/// The two are bit-identical — same protocol decisions, same RNG stream,
+/// same metrics (tests/engine_golden_test.cpp pins this across all four
+/// traces and five schemes) — so this knob exists only for golden
+/// comparisons and bench denominators. The four baseline schemes have a
+/// single implementation and ignore the switch.
+enum class SimEngine { kFast, kReference };
+
 struct SimConfig {
   /// Link bandwidth during contacts (paper: Bluetooth EDR 2.1 Mb/s).
   Bytes bandwidth_per_second = megabits(2.1);
@@ -56,6 +67,11 @@ struct SimConfig {
   /// bit-identical (tests/path_golden_test.cpp), so this knob exists only
   /// for golden comparisons and bench denominators.
   PathEngine path_engine = PathEngine::kFast;
+
+  /// Scheme-implementation engine (see SimEngine above). Dispatch happens
+  /// where schemes are constructed (experiment/experiment.cpp make_scheme);
+  /// the event loop itself is shared.
+  SimEngine sim_engine = SimEngine::kFast;
 
   // ---- failure injection ----
 

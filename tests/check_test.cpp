@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "cache/knapsack.h"
+#include "cache/ncl_scheme.h"
 #include "cache/replacement.h"
+#include "common/arena.h"
 #include "common/rng.h"
 
 namespace dtn {
@@ -107,6 +109,36 @@ TEST(DtnCheckDeathTest, InjectedOutOfRangeWeightAbortsInsideReplacement) {
                                 /*weight_b=*/0.5, config, rng),
                "DTN_CHECK failed at .*replacement\\.cpp:[0-9]+.*"
                "probability in \\[0, 1\\]");
+}
+
+TEST(DtnCheckDeathTest, BundlePoolDoubleReleaseAborts) {
+  // A handle released twice would enter the free list twice, and two later
+  // bundles would alias one slot — the pool must abort on the second
+  // release, not corrupt silently.
+  SlabPool<int> pool;
+  const SlabPool<int>::Handle h = pool.acquire();
+  pool.release(h);
+  EXPECT_DEATH(pool.release(h), "bundle-pool double release");
+}
+
+TEST(DtnCheckDeathTest, BundlePoolDeadSlotAccessAborts) {
+  SlabPool<int> pool;
+  const SlabPool<int>::Handle h = pool.acquire();
+  pool.release(h);
+  EXPECT_DEATH(pool.get(h), "bundle-pool access to a dead slot");
+}
+
+TEST(DtnCheckDeathTest, ContactWorkspaceReuseAcrossContactsAborts) {
+  // The per-contact workspace is exclusive for the duration of one contact;
+  // overlapping begin_contact calls would let two contacts share the same
+  // replacement pools and kept-chain scratch.
+  NclCachingScheme::ContactWorkspace ws;
+  ws.begin_contact();
+  EXPECT_DEATH(ws.begin_contact(),
+               "contact workspace reuse across contacts");
+  ws.end_contact();
+  EXPECT_DEATH(ws.end_contact(),
+               "end_contact without a matching begin_contact");
 }
 
 }  // namespace

@@ -1,0 +1,344 @@
+// Property-based invariant suite (tests/proptest.h harness).
+//
+// Randomized op sequences and inputs against the hot-loop data structures
+// the SoA/arena rewrite introduced, each checked against either a simple
+// model (map, vector) or the frozen legacy implementation as oracle:
+//
+//  * CacheBuffer vs an ordered-map model — byte accounting and the
+//    used() <= capacity() invariant after every op;
+//  * solve_knapsack workspace form vs the convenience form — identical
+//    results, plus Eq. 7 feasibility (quantized total never exceeds the
+//    byte capacity);
+//  * plan_replacement workspace form vs the legacy allocating oracle under
+//    identical RNG seeds — identical plans, identical RNG consumption;
+//  * replacement plans are union-preserving partitions (Alg. 1 never
+//    duplicates or invents data) within both nodes' capacities;
+//  * SlabPool vs a map model — handle stability, value round-trip, live
+//    accounting across arbitrary acquire/release interleavings;
+//  * the fast simulator engine vs the reference engine on randomized
+//    mini-traces and experiment configs — bit-identical metrics (the
+//    randomized counterpart of tests/engine_golden_test.cpp's pinned
+//    matrix).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cache/knapsack.h"
+#include "cache/replacement.h"
+#include "common/arena.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "experiment/experiment.h"
+#include "net/buffer.h"
+#include "tests/proptest.h"
+#include "trace/synthetic.h"
+
+namespace dtn {
+namespace {
+
+using proptest::run_property;
+
+TEST(Property, CacheBufferMatchesMapModel) {
+  run_property("cache_buffer_model", 40, [](Rng& rng, int) {
+    const Bytes capacity = rng.uniform_int(1, 4000);
+    CacheBuffer buffer(capacity);
+    std::map<DataId, Bytes> model;
+
+    const int ops = static_cast<int>(rng.uniform_int(50, 300));
+    for (int op = 0; op < ops; ++op) {
+      const DataId id = rng.uniform_int(0, 24);
+      const double dice = rng.uniform();
+      if (dice < 0.55) {
+        const Bytes size = rng.uniform_int(1, std::max<Bytes>(1, capacity / 3));
+        const bool expect_ok =
+            model.find(id) == model.end() && size <= buffer.free();
+        ASSERT_EQ(buffer.insert(id, size), expect_ok);
+        if (expect_ok) model.emplace(id, size);
+      } else if (dice < 0.85) {
+        ASSERT_EQ(buffer.erase(id), model.erase(id) > 0);
+      } else {
+        const auto it = model.find(id);
+        ASSERT_EQ(buffer.contains(id), it != model.end());
+        if (it != model.end()) {
+          ASSERT_EQ(buffer.size_of(id), it->second);
+        }
+      }
+
+      // Core invariants, re-checked after *every* op.
+      Bytes used = 0;
+      for (const auto& [mid, msize] : model) used += msize;
+      ASSERT_EQ(buffer.used(), used);
+      ASSERT_LE(buffer.used(), buffer.capacity());
+      ASSERT_EQ(buffer.count(), model.size());
+      ASSERT_EQ(buffer.free(), capacity - used);
+    }
+
+    std::vector<DataId> items = buffer.items();
+    std::sort(items.begin(), items.end());
+    std::vector<DataId> expected;
+    for (const auto& [mid, msize] : model) expected.push_back(mid);
+    ASSERT_EQ(items, expected);
+  });
+}
+
+TEST(Property, KnapsackWorkspaceMatchesConvenienceAndFeasible) {
+  run_property("knapsack_workspace", 60, [](Rng& rng, int) {
+    const int n = static_cast<int>(rng.uniform_int(0, 24));
+    std::vector<KnapsackItem> items;
+    for (int i = 0; i < n; ++i) {
+      KnapsackItem item;
+      item.value = rng.uniform();
+      item.size = rng.uniform_int(1, 8 << 20);
+      items.push_back(item);
+    }
+    const Bytes unit = 1 << static_cast<int>(rng.uniform_int(16, 21));
+    const Bytes capacity = rng.uniform_int(0, 24LL << 20);
+
+    const KnapsackResult oracle = solve_knapsack(items, capacity, unit);
+    KnapsackWorkspace ws;
+    KnapsackResult fast;
+    solve_knapsack(items, capacity, unit, ws, fast);
+
+    ASSERT_EQ(fast.selected, oracle.selected);
+    ASSERT_EQ(fast.total_value, oracle.total_value);
+    ASSERT_EQ(fast.total_size, oracle.total_size);
+
+    // Feasibility (Eq. 7): the quantized sizes are rounded up, so the
+    // exact byte total can never exceed the byte capacity.
+    Bytes total = 0;
+    std::set<std::size_t> seen;
+    for (std::size_t idx : fast.selected) {
+      ASSERT_LT(idx, items.size());
+      ASSERT_TRUE(seen.insert(idx).second) << "index selected twice";
+      total += items[idx].size;
+    }
+    ASSERT_EQ(total, fast.total_size);
+    ASSERT_LE(total, capacity);
+  });
+}
+
+// Shared generator for the two replacement properties: a pool of distinct
+// data ids with randomized sizes, popularities and holders, plus a full
+// randomized exchange configuration.
+struct ExchangeCase {
+  std::vector<ReplacementItem> pool;
+  Bytes capacity_a = 0;
+  Bytes capacity_b = 0;
+  double weight_a = 0.0;
+  double weight_b = 0.0;
+  ReplacementConfig config;
+  std::uint64_t rng_seed = 0;
+};
+
+ExchangeCase make_exchange_case(Rng& rng) {
+  ExchangeCase c;
+  const int n = static_cast<int>(rng.uniform_int(0, 20));
+  Bytes pool_bytes = 0;
+  for (int i = 0; i < n; ++i) {
+    ReplacementItem item;
+    item.id = 100 + i;  // distinct by construction (a pool precondition)
+    item.size = rng.uniform_int(1, 6 << 20);
+    item.popularity = rng.uniform();
+    item.at_a = rng.bernoulli(0.5);
+    pool_bytes += item.size;
+    c.pool.push_back(item);
+  }
+  rng.shuffle(c.pool);
+  c.capacity_a = rng.uniform_int(0, std::max<Bytes>(1, pool_bytes));
+  c.capacity_b = rng.uniform_int(0, std::max<Bytes>(1, pool_bytes));
+  c.weight_a = rng.uniform();
+  c.weight_b = rng.uniform();
+  c.config.knapsack_unit = 1 << static_cast<int>(rng.uniform_int(17, 21));
+  c.config.max_rounds = static_cast<int>(rng.uniform_int(1, 5));
+  c.config.probabilistic = rng.bernoulli(0.75);
+  c.rng_seed = rng();
+  return c;
+}
+
+TEST(Property, ReplacementWorkspaceMatchesOracle) {
+  run_property("replacement_oracle", 60, [](Rng& rng, int) {
+    const ExchangeCase c = make_exchange_case(rng);
+
+    Rng rng_oracle(c.rng_seed);
+    const ReplacementPlan oracle =
+        plan_replacement(c.pool, c.capacity_a, c.capacity_b, c.weight_a,
+                         c.weight_b, c.config, rng_oracle);
+
+    Rng rng_fast(c.rng_seed);
+    ReplacementWorkspace ws;
+    ReplacementPlan fast;
+    // Run twice through the same workspace: the second exchange must be
+    // unaffected by whatever scratch the first one left behind.
+    plan_replacement(c.pool, c.capacity_a, c.capacity_b, c.weight_a,
+                     c.weight_b, c.config, rng_fast, ws, fast);
+    Rng rng_again(c.rng_seed);
+    plan_replacement(c.pool, c.capacity_a, c.capacity_b, c.weight_a,
+                     c.weight_b, c.config, rng_again, ws, fast);
+
+    ASSERT_EQ(fast.keep_at_a, oracle.keep_at_a);
+    ASSERT_EQ(fast.keep_at_b, oracle.keep_at_b);
+    ASSERT_EQ(fast.dropped, oracle.dropped);
+    ASSERT_EQ(fast.moved, oracle.moved);
+    ASSERT_EQ(fast.moved_bytes, oracle.moved_bytes);
+
+    // Identical RNG consumption, not merely identical plans: the next draw
+    // from both streams must agree.
+    ASSERT_EQ(rng_fast(), rng_oracle());
+  });
+}
+
+TEST(Property, ReplacementPlanPartitionsPoolWithinCapacity) {
+  run_property("replacement_partition", 60, [](Rng& rng, int) {
+    const ExchangeCase c = make_exchange_case(rng);
+    Rng plan_rng(c.rng_seed);
+    ReplacementWorkspace ws;
+    ReplacementPlan plan;
+    plan_replacement(c.pool, c.capacity_a, c.capacity_b, c.weight_a,
+                     c.weight_b, c.config, plan_rng, ws, plan);
+
+    std::map<DataId, Bytes> sizes;
+    for (const ReplacementItem& item : c.pool) sizes.emplace(item.id, item.size);
+
+    // Union preservation (Alg. 1): every pooled id lands in exactly one of
+    // keep_at_a / keep_at_b / dropped — nothing duplicated, nothing new.
+    std::vector<DataId> placed;
+    Bytes bytes_a = 0;
+    Bytes bytes_b = 0;
+    for (DataId id : plan.keep_at_a) {
+      ASSERT_TRUE(sizes.count(id));
+      bytes_a += sizes.at(id);
+      placed.push_back(id);
+    }
+    for (DataId id : plan.keep_at_b) {
+      ASSERT_TRUE(sizes.count(id));
+      bytes_b += sizes.at(id);
+      placed.push_back(id);
+    }
+    for (DataId id : plan.dropped) {
+      ASSERT_TRUE(sizes.count(id));
+      placed.push_back(id);
+    }
+    ASSERT_EQ(placed.size(), c.pool.size());
+    std::sort(placed.begin(), placed.end());
+    ASSERT_TRUE(std::adjacent_find(placed.begin(), placed.end()) ==
+                placed.end())
+        << "a data id was placed twice";
+
+    // Capacity (Eq. 7 feasibility at both nodes).
+    ASSERT_LE(bytes_a, c.capacity_a);
+    ASSERT_LE(bytes_b, c.capacity_b);
+
+    // moved is a subset of the keeps, and moved_bytes is its byte total.
+    std::set<DataId> kept(plan.keep_at_a.begin(), plan.keep_at_a.end());
+    kept.insert(plan.keep_at_b.begin(), plan.keep_at_b.end());
+    Bytes moved_bytes = 0;
+    for (DataId id : plan.moved) {
+      ASSERT_TRUE(kept.count(id)) << "moved item was not kept";
+      moved_bytes += sizes.at(id);
+    }
+    ASSERT_EQ(plan.moved_bytes, moved_bytes);
+  });
+}
+
+TEST(Property, SlabPoolMatchesMapModel) {
+  run_property("slab_pool_model", 40, [](Rng& rng, int) {
+    using Pool = SlabPool<std::int64_t>;
+    Pool pool(/*slab_capacity=*/4);  // small slabs: multi-slab from op ~5 on
+    std::map<Pool::Handle, std::int64_t> model;
+    std::int64_t next_value = 1;
+
+    const int ops = static_cast<int>(rng.uniform_int(50, 400));
+    for (int op = 0; op < ops; ++op) {
+      const double dice = rng.uniform();
+      if (dice < 0.5 || model.empty()) {
+        const Pool::Handle h = pool.acquire();
+        ASSERT_TRUE(model.find(h) == model.end())
+            << "acquire returned a handle that is already live";
+        pool.get(h) = next_value;
+        model.emplace(h, next_value);
+        ++next_value;
+      } else if (dice < 0.8) {
+        auto it = model.begin();
+        std::advance(it, rng.uniform_int(
+                             0, static_cast<std::int64_t>(model.size()) - 1));
+        pool.release(it->first);
+        model.erase(it);
+      } else {
+        // Values survive unrelated acquires/releases: slab addresses and
+        // slot contents are stable while a handle stays live.
+        auto it = model.begin();
+        std::advance(it, rng.uniform_int(
+                             0, static_cast<std::int64_t>(model.size()) - 1));
+        ASSERT_EQ(pool.get(it->first), it->second);
+      }
+      ASSERT_EQ(pool.live(), model.size());
+      ASSERT_GE(pool.capacity(), pool.live());
+    }
+    for (const auto& [h, value] : model) ASSERT_EQ(pool.get(h), value);
+  });
+}
+
+TEST(Property, FastEngineMatchesReferenceOnRandomMiniTraces) {
+  // The randomized counterpart of engine_golden_test's pinned matrix:
+  // small random traces and experiment configs, fast vs reference engines,
+  // raw-double equality on every aggregate metric. Case count is modest
+  // because each case runs two full simulations.
+  run_property("engine_equivalence", 6, [](Rng& rng, int) {
+    SyntheticTraceConfig tc;
+    tc.node_count = static_cast<NodeId>(rng.uniform_int(12, 20));
+    tc.duration = days(rng.uniform(0.5, 1.0));
+    tc.target_total_contacts =
+        static_cast<double>(tc.node_count) *
+        static_cast<double>(rng.uniform_int(60, 150));
+    tc.community_count = rng.bernoulli(0.5) ? 3 : 0;
+    tc.seed = rng();
+    const ContactTrace trace = generate_trace(tc);
+
+    ExperimentConfig config;
+    config.avg_lifetime = hours(rng.uniform(6.0, 24.0));
+    config.avg_data_size = megabits(rng.uniform(10.0, 50.0));
+    config.ncl_count = static_cast<int>(rng.uniform_int(1, 3));
+    config.repetitions = 1;
+    config.auto_horizon = false;
+    config.sim.path_horizon = hours(2);
+    config.sim.maintenance_interval = hours(rng.uniform(6.0, 48.0));
+    config.dynamic_ncl = rng.bernoulli(0.3);
+    const CacheStrategy strategies[] = {
+        CacheStrategy::kUtilityExchange, CacheStrategy::kFifo,
+        CacheStrategy::kLru, CacheStrategy::kGds};
+    config.strategy = strategies[rng.uniform_int(0, 3)];
+    const ResponseMode modes[] = {ResponseMode::kPathWeight,
+                                  ResponseMode::kSigmoid, ResponseMode::kAlways};
+    config.response_mode = modes[rng.uniform_int(0, 2)];
+    config.seed = rng();
+
+    config.sim.sim_engine = SimEngine::kFast;
+    const ExperimentResult fast =
+        run_experiment(trace, SchemeKind::kNclCache, config);
+    config.sim.sim_engine = SimEngine::kReference;
+    const ExperimentResult ref =
+        run_experiment(trace, SchemeKind::kNclCache, config);
+
+    const auto expect_stats = [](const RunningStats& f, const RunningStats& r) {
+      ASSERT_EQ(f.count(), r.count());
+      ASSERT_EQ(f.mean(), r.mean());
+      ASSERT_EQ(f.variance(), r.variance());
+      ASSERT_EQ(f.min(), r.min());
+      ASSERT_EQ(f.max(), r.max());
+    };
+    expect_stats(fast.success_ratio, ref.success_ratio);
+    expect_stats(fast.delay_hours, ref.delay_hours);
+    expect_stats(fast.copies_per_item, ref.copies_per_item);
+    expect_stats(fast.replacement_overhead, ref.replacement_overhead);
+    expect_stats(fast.queries_issued, ref.queries_issued);
+    expect_stats(fast.queries_satisfied, ref.queries_satisfied);
+    expect_stats(fast.gigabytes_transferred, ref.gigabytes_transferred);
+    expect_stats(fast.duplicate_deliveries, ref.duplicate_deliveries);
+  });
+}
+
+}  // namespace
+}  // namespace dtn

@@ -129,7 +129,7 @@ stage_tsan() {
   # The tests that hammer the thread pool: proving "parallel == serial
   # bit-for-bit" is only meaningful if the parallel path is also race-free.
   sanitizer_stage thread build-tsan \
-    'ResolveThreads|ParallelFor|ParallelMap|ParallelReduce|DeriveSeed|ThreadPool|Determinism|Sweep|PathGolden'
+    'ResolveThreads|ParallelFor|ParallelMap|ParallelReduce|DeriveSeed|ThreadPool|Determinism|Sweep|PathGolden|EngineGolden|GoldenFixture'
 }
 
 stage_asan() { sanitizer_stage address build-asan; }
