@@ -1,0 +1,51 @@
+// dtnlint fixture: loop-adjacent container usage that allocates nothing
+// per iteration. NEVER compiled — the --self-test asserts nothing here
+// fires (the false-positive regression suite of the hot-loop-alloc rule).
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+// The PR 5/6 pattern: storage lives in a workspace reused across calls.
+struct Workspace {
+  std::vector<int> scratch;
+  std::map<int, int> ranks;
+};
+
+// A comment saying std::map<int, int> ranks; inside this loop would be
+// flagged is not a finding, and neither is `new int[4]` in a string.
+const char* clean_comment_mention() {
+  return "std::map<int, int> ranks; int* p = new int[4];";
+}
+
+// Reusing hoisted workspace storage: clear() + push_back never construct
+// a container inside the loop.
+int clean_hoisted(Workspace& ws, int n) {
+  ws.scratch.clear();
+  for (int i = 0; i < n; ++i) {
+    ws.scratch.push_back(i);
+  }
+  return static_cast<int>(ws.scratch.size());
+}
+
+// A reference into hoisted storage does not allocate.
+int clean_reference_in_loop(Workspace& ws, int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    std::map<int, int>& ranks = ws.ranks;
+    ranks[i] = i;
+    acc += static_cast<int>(ranks.size());
+  }
+  return acc;
+}
+
+// Construction outside any loop is fine: one allocation per call.
+int clean_outside_loop(int n) {
+  std::map<int, int> ranks;
+  for (int i = 0; i < n; ++i) {
+    ranks[i] = i;
+  }
+  return static_cast<int>(ranks.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,58 @@
+// dtnlint fixture: seeded pool-lifetime violations. NEVER compiled — the
+// --self-test asserts every violation below is caught, and that no OTHER
+// rule fires in this file.
+#include <cstdint>
+
+namespace fixture {
+
+struct Token {
+  int data = 0;
+  int central = 0;
+};
+
+struct Pool {
+  using Handle = std::uint32_t;
+  Handle next(Handle h) const;
+  Token& get(Handle h);
+  void release(Handle h);
+};
+
+struct Arena {
+  void* allocate(std::size_t bytes);
+  void reset();
+};
+
+Pool token_pool_;
+Arena arena_;
+
+// Straight-line use-after-release: `h` is read by get() after release().
+int bad_straight_line(Pool::Handle h) {
+  token_pool_.release(h);
+  return token_pool_.get(h).data;  // seeded violation: h is dead here
+}
+
+// The released handle leaks out of the branch: only the then-branch
+// releases, but the use after the conditional sits on that path too.
+int bad_branch_leak(Pool::Handle h, bool drop) {
+  if (drop) {
+    token_pool_.release(h);
+  }
+  return token_pool_.get(h).data;  // seeded violation: dead when drop
+}
+
+// A reference obtained from get() dies with its slot: releasing the
+// handle and then reading through the reference is the same bug.
+int bad_stale_reference(Pool::Handle h) {
+  Token& token = token_pool_.get(h);
+  token_pool_.release(h);
+  return token.data;  // seeded violation: token references a dead slot
+}
+
+// Arena reset invalidates everything allocate() handed out before it.
+int bad_arena_reset() {
+  void* scratch = arena_.allocate(64);
+  arena_.reset();
+  return scratch != nullptr;  // seeded violation: scratch predates reset
+}
+
+}  // namespace fixture

@@ -1,0 +1,86 @@
+// dtnlint fixture: pool/arena usage that LOOKS like use-after-release but
+// is fine. NEVER compiled — the --self-test asserts nothing here fires
+// (the false-positive regression suite of the pool-lifetime rule).
+#include <cstdint>
+
+namespace fixture {
+
+struct Token {
+  int data = 0;
+};
+
+struct Pool {
+  using Handle = std::uint32_t;
+  static constexpr Handle kNull = 0xFFFFFFFFu;
+  Handle next(Handle h) const;
+  Token& get(Handle h);
+  void release(Handle h);
+};
+
+struct Chain {
+  Pool::Handle head = Pool::kNull;
+  void append(Pool& pool, Pool::Handle h);
+};
+
+Pool token_pool_;
+
+// A comment mentioning token_pool_.release(h) then token_pool_.get(h) is
+// not a finding, and neither is "token_pool_.release(h)" in a string.
+const char* clean_comment_mention() { return "token_pool_.release(h)"; }
+
+// The canonical chain walk: the handle is rebound (`h = next`) after the
+// release, before any read on the fall-through path.
+int clean_chain_walk(Pool::Handle head, int now) {
+  int dropped = 0;
+  auto h = head;
+  while (h != Pool::kNull) {
+    const auto next = token_pool_.next(h);
+    if (token_pool_.get(h).data < now) {
+      token_pool_.release(h);
+      ++dropped;
+    }
+    h = next;  // rebind kills the taint from the then-branch
+  }
+  return dropped;
+}
+
+// Release on one path, use on the *other* path of the same conditional:
+// the branches are mutually exclusive.
+int clean_branch_exclusive(Pool::Handle h, bool drop, Chain& kept) {
+  if (drop) {
+    token_pool_.release(h);
+    return 0;
+  } else {
+    kept.append(token_pool_, h);
+  }
+  return 1;
+}
+
+// Release then `continue`: the statements after the conditional are a
+// different iteration path and never see the dead handle.
+int clean_release_continue(Pool::Handle head, int now) {
+  int kept = 0;
+  auto h = head;
+  while (h != Pool::kNull) {
+    const auto next = token_pool_.next(h);
+    if (token_pool_.get(h).data < now) {
+      token_pool_.release(h);
+      h = next;
+      continue;
+    }
+    ++kept;
+    token_pool_.get(h).data += 1;  // reachable only when still live
+    h = next;
+  }
+  return kept;
+}
+
+// get() nested inside another call's arguments produces a value, not a
+// reference into the slot: `item` does not die with the handle.
+int clean_value_copy(Pool::Handle h) {
+  const Token item = token_pool_.get(h);  // copy, then release
+  token_pool_.release(h);
+  return item.data;
+}
+
+}  // namespace fixture

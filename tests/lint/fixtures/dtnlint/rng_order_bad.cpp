@@ -1,0 +1,51 @@
+// dtnlint fixture: seeded rng-order violations. NEVER compiled — the
+// --self-test asserts every violation below is caught, and that no OTHER
+// rule fires in this file.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Rng {
+  double uniform(double lo, double hi);
+  bool bernoulli(double p);
+};
+
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t salt);
+
+std::unordered_map<int, double> demand_table_;
+Rng rng_;
+
+// Drawing inside iteration over an unordered container: the draw order
+// follows hash-table layout, so the whole downstream stream shifts when
+// the table is rehashed or the libstdc++ version changes.
+double bad_draw_in_unordered_loop() {
+  double acc = 0.0;
+  for (const auto& kv : demand_table_) {
+    acc += kv.second * rng_.uniform(0.0, 1.0);  // seeded violation
+  }
+  return acc;
+}
+
+// derive_seed consumption keyed by hash-iteration order is the same bug
+// one level up: the derived streams get paired with different entities.
+std::uint64_t bad_derive_seed_in_loop(std::uint64_t root) {
+  std::uint64_t mix = 0;
+  for (const auto& kv : demand_table_) {
+    mix ^= derive_seed(root, static_cast<std::uint64_t>(kv.first));  // seeded violation
+  }
+  return mix;
+}
+
+// A draw hiding in a nested branch header inside the loop.
+int bad_draw_in_branch_header() {
+  int kept = 0;
+  for (const auto& kv : demand_table_) {
+    if (rng_.bernoulli(kv.second)) {  // seeded violation
+      ++kept;
+    }
+  }
+  return kept;
+}
+
+}  // namespace fixture

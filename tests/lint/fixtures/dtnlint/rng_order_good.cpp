@@ -1,0 +1,62 @@
+// dtnlint fixture: RNG usage near unordered containers that is fine.
+// NEVER compiled — the --self-test asserts nothing here fires (the
+// false-positive regression suite of the rng-order rule).
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Rng {
+  double uniform(double lo, double hi);
+  bool bernoulli(double p);
+};
+
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t salt);
+
+std::unordered_map<int, double> demand_table_;
+std::vector<int> sorted_keys_;
+Rng rng_;
+
+// A comment saying rng_.uniform(0.0, 1.0) inside an unordered loop would
+// be flagged is not a finding, and neither is the same text in a string.
+const char* clean_comment_mention() {
+  return "for (kv : demand_table_) rng_.uniform(0.0, 1.0);";
+}
+
+// Iterating a sorted key list: draw order is deterministic even though
+// the values come out of the unordered map by key lookup.
+double clean_sorted_iteration() {
+  double acc = 0.0;
+  for (int key : sorted_keys_) {
+    acc += demand_table_[key] * rng_.uniform(0.0, 1.0);
+  }
+  return acc;
+}
+
+// Unordered iteration with no draws in it folds into an order-independent
+// sum; the RNG is not consumed.
+double clean_unordered_no_draw() {
+  double acc = 0.0;
+  for (const auto& kv : demand_table_) {
+    acc += kv.second;
+  }
+  return acc;
+}
+
+// Draw hoisted out of the loop: one draw, consumed order-independently.
+double clean_hoisted_draw() {
+  const double u = rng_.uniform(0.0, 1.0);
+  double acc = 0.0;
+  for (const auto& kv : demand_table_) {
+    acc += kv.second * u;
+  }
+  return acc;
+}
+
+// derive_seed outside any unordered iteration is the blessed pattern.
+std::uint64_t clean_derive_seed(std::uint64_t root, int node) {
+  return derive_seed(root, static_cast<std::uint64_t>(node));
+}
+
+}  // namespace fixture

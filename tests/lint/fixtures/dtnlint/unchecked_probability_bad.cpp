@@ -1,0 +1,34 @@
+// dtnlint fixture: seeded unchecked-probability violations. NEVER
+// compiled — the --self-test asserts every violation below is caught,
+// and that no OTHER rule fires in this file.
+
+namespace fixture {
+
+double hypoexp_cdf(double t, const double* rates, int k);
+double reply_probability(double tau, double ttl);
+double path_weight(const int* hops, int len, double ttl);
+
+struct CacheEntry {
+  double reply = 0.0;
+};
+
+// Raw probability returned without DTN_CHECK_PROB or a clamp: the Eq. 2/4
+// [0,1] contract is never asserted before the value escapes.
+double bad_return_raw(double t, const double* rates, int k) {
+  const double p = hypoexp_cdf(t, rates, k);
+  return p;  // seeded violation
+}
+
+// Raw probability stored into longer-lived state.
+void bad_store_raw(CacheEntry& entry, double tau, double ttl) {
+  const double p = reply_probability(tau, ttl);
+  entry.reply = p;  // seeded violation
+}
+
+// Raw probability stored through an index: same escape, different lvalue.
+void bad_store_indexed(double* weights, const int* hops, int len, double ttl) {
+  const double w = path_weight(hops, len, ttl);
+  weights[0] = w;  // seeded violation
+}
+
+}  // namespace fixture

@@ -1,0 +1,52 @@
+// dtnlint fixture: probability plumbing that honours the Eq. 2/4 [0,1]
+// contract. NEVER compiled — the --self-test asserts nothing here fires
+// (the false-positive regression suite of the unchecked-probability rule).
+#include <algorithm>
+
+namespace fixture {
+
+double hypoexp_cdf(double t, const double* rates, int k);
+double reply_probability(double tau, double ttl);
+double path_weight(const int* hops, int len, double ttl);
+
+struct CacheEntry {
+  double reply = 0.0;
+};
+
+// A comment saying `return p;` after hypoexp_cdf(...) would be flagged is
+// not a finding, and neither is the same text in a string literal.
+const char* clean_comment_mention() {
+  return "const double p = hypoexp_cdf(t, r, k); return p;";
+}
+
+// The blessed pattern: assert the contract, then let the value escape.
+double clean_checked_return(double t, const double* rates, int k) {
+  const double p = hypoexp_cdf(t, rates, k);
+  DTN_CHECK_PROB(p);
+  return p;
+}
+
+// Clamping before the store also discharges the contract.
+void clean_clamped_store(CacheEntry& entry, double tau, double ttl) {
+  double p = reply_probability(tau, ttl);
+  p = std::clamp(p, 0.0, 1.0);
+  entry.reply = p;
+}
+
+// Comparisons and local arithmetic never escape the raw value.
+int clean_comparison_only(const int* hops, int len, double ttl) {
+  const double w = path_weight(hops, len, ttl);
+  if (w > 0.5) {
+    return 1;
+  }
+  return 0;
+}
+
+// Reassignment with a non-probability expression ends the taint.
+double clean_reassigned(double t, const double* rates, int k) {
+  double p = hypoexp_cdf(t, rates, k);
+  p = 0.5;
+  return p;
+}
+
+}  // namespace fixture

@@ -1,0 +1,66 @@
+// dtnlint fixture: seeded workspace-bracketing violations. NEVER
+// compiled — the --self-test asserts every violation below is caught,
+// and that no OTHER rule fires in this file.
+
+namespace fixture {
+
+struct Workspace {
+  void begin_contact(int a, int b);
+  void end_contact();
+};
+
+Workspace ws_;
+void do_work();
+
+// Early return while the bracket is open: the next contact aborts on the
+// workspace-reuse DTN_CHECK.
+int bad_early_return(int a, int b, bool busy) {
+  ws_.begin_contact(a, b);
+  if (busy) {
+    return 0;  // seeded violation: skips end_contact()
+  }
+  ws_.end_contact();
+  return 1;
+}
+
+// Falling off the end with the bracket still open.
+void bad_fall_off_end(int a, int b) {
+  ws_.begin_contact(a, b);
+  do_work();
+}  // seeded violation: no end_contact() on this path
+
+// Only one branch of the conditional closes the bracket.
+void bad_branch_disagreement(int a, int b, bool keep_open) {
+  ws_.begin_contact(a, b);
+  if (keep_open) {
+    do_work();
+  } else {
+    ws_.end_contact();
+  }
+}  // seeded violation: open on the keep_open path
+
+// Re-entering begin_contact while the previous bracket is still open.
+void bad_rebegin(int a, int b) {
+  ws_.begin_contact(a, b);
+  ws_.begin_contact(a, b);  // seeded violation
+  ws_.end_contact();
+  ws_.end_contact();
+}
+
+// end_contact with no matching begin on this path.
+void bad_end_without_begin(int a, int b, bool flag) {
+  ws_.end_contact();  // seeded violation
+  if (flag) {
+    ws_.begin_contact(a, b);
+    ws_.end_contact();
+  }
+}
+
+// A loop iteration must leave the bracket where it found it.
+void bad_loop_leaves_open(int n) {
+  for (int i = 0; i + 1 < n; ++i) {
+    ws_.begin_contact(i, i + 1);  // seeded violation: never closed in-iteration
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,71 @@
+// dtnlint fixture: begin/end bracketing that balances on every path.
+// NEVER compiled — the --self-test asserts nothing here fires (the
+// false-positive regression suite of the workspace-bracketing rule).
+
+namespace fixture {
+
+struct Workspace {
+  void begin_contact(int a, int b);
+  void end_contact();
+};
+
+Workspace ws_;
+void do_work();
+void fast_path();
+void slow_path();
+
+// A comment saying ws_.begin_contact(a, b) without end_contact() would be
+// flagged is not a finding, and neither is the same text in a string.
+const char* clean_comment_mention() {
+  return "ws_.begin_contact(a, b); return;";
+}
+
+// The canonical shape (ncl_scheme.cpp on_contact): guard clauses return
+// BEFORE the bracket opens, then one begin/end pair brackets the body.
+int clean_on_contact(int a, int b, bool skip) {
+  if (skip) {
+    return 0;
+  }
+  ws_.begin_contact(a, b);
+  do_work();
+  ws_.end_contact();
+  return 1;
+}
+
+// A conditional inside the bracket is fine while both branches leave the
+// state unchanged.
+void clean_branch_balanced(int a, int b, bool fast) {
+  ws_.begin_contact(a, b);
+  if (fast) {
+    fast_path();
+  } else {
+    slow_path();
+  }
+  ws_.end_contact();
+}
+
+// Both branches close the bracket and return: no path leaves it open.
+int clean_branch_returns(int a, int b, bool fast) {
+  ws_.begin_contact(a, b);
+  if (fast) {
+    fast_path();
+    ws_.end_contact();
+    return 1;
+  } else {
+    slow_path();
+    ws_.end_contact();
+    return 2;
+  }
+}
+
+// Per-iteration bracketing: each iteration opens and closes its own pair,
+// so the loop body leaves the state where it found it.
+void clean_loop_bracket(int n) {
+  for (int i = 0; i + 1 < n; ++i) {
+    ws_.begin_contact(i, i + 1);
+    do_work();
+    ws_.end_contact();
+  }
+}
+
+}  // namespace fixture

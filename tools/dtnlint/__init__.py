@@ -1,0 +1,14 @@
+"""dtnlint: flow-sensitive static analysis for the dtncache tree.
+
+Self-contained, stock-python3, no clang/libclang: a C++ lexer (lexer.py),
+a structural parser recovering function/scope/loop nesting and local
+declarations (cpp.py), and a rule framework (engine.py) hosting the seven
+legacy determinism rules (rules_legacy.py) plus five flow-aware rules
+(rules_flow.py). See DESIGN.md §11.
+
+Run as `python3 tools/dtnlint` (the directory is executable via
+__main__.py). tools/lint_determinism.py is a compatibility shim that runs
+exactly the legacy rule subset through this engine.
+"""
+
+__version__ = "1.0"

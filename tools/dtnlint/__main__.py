@@ -1,0 +1,19 @@
+"""Entry point: `python3 tools/dtnlint [...]`.
+
+Running a directory puts it at sys.path[0] and executes __main__.py, so
+the engine's modules import flat (`import engine`, not a package path).
+The explicit bootstrap below also covers `python3 tools/dtnlint/__main__.py`
+and execution from another working directory.
+"""
+
+import sys
+from pathlib import Path
+
+_HERE = str(Path(__file__).resolve().parent)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+
+import cli  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(cli.main(sys.argv))

@@ -1,0 +1,485 @@
+"""Lightweight structural C++ parser for dtnlint.
+
+Not a grammar: a brace-structure recoverer. It walks the significant token
+stream (lexer.py) and rebuilds the nesting the flow rules need —
+translation unit -> namespace -> class -> function -> loop/branch/block —
+plus a statement list per scope and a best-effort declaration table
+(name -> type) covering file/class members, locals, and function
+parameters. That is enough structure to answer the questions the rules
+ask ("is this `release(h)` followed by a use of `h` on the same path?",
+"is this RNG draw inside a range-for over an unordered container?")
+without a real C++ frontend, which this environment does not have.
+
+Known, accepted approximations (each is covered by a good-fixture so a
+regression shows up in --self-test):
+  * Braceless control bodies (`if (x) return;`) are part of the
+    enclosing statement, not a scope — flow rules see them as one
+    conditional statement and treat their effects as unconditional.
+  * Lambda bodies are scopes of kind 'lambda' nested where they appear;
+    the statement that contains the lambda keeps accumulating around it.
+  * Preprocessor conditionals are invisible: both arms of an #if/#else
+    contribute code. Unbalanced braces across arms would desynchronize
+    the tree; the parser clamps instead of crashing (no such code in
+    this tree, and the fixtures keep it that way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from lexer import Token, lex, significant
+
+_CONTROL_KEYWORDS = {"if", "else", "for", "while", "do", "switch", "try", "catch"}
+_CLASS_KEYS = {"class", "struct", "union", "enum"}
+_SPECIFIERS = {
+    "static", "const", "constexpr", "consteval", "constinit", "inline",
+    "mutable", "thread_local", "explicit", "volatile", "register",
+    "typename", "friend", "virtual", "extern",
+}
+_BUILTIN_TYPE_WORDS = {
+    "unsigned", "signed", "long", "short", "int", "char", "double",
+    "float", "bool", "void", "auto", "std", "size_t",
+}
+_NOT_A_TYPE = _CONTROL_KEYWORDS | {
+    "return", "break", "continue", "goto", "case", "default", "delete",
+    "new", "throw", "using", "namespace", "template", "public", "private",
+    "protected", "operator", "sizeof", "this",
+}
+
+
+@dataclass
+class Stmt:
+    tokens: list[Token]
+
+    @property
+    def line(self) -> int:
+        return self.tokens[0].line if self.tokens else 0
+
+    def texts(self) -> list[str]:
+        return [t.text for t in self.tokens]
+
+
+@dataclass
+class Scope:
+    kind: str  # file|namespace|class|function|lambda|loop|if|elif|else|switch|block|init
+    header: list[Token] = field(default_factory=list)
+    name: str | None = None
+    line: int = 0
+    parent: "Scope | None" = None
+    items: list["Stmt | Scope"] = field(default_factory=list)
+
+    def scopes(self):
+        """All nested scopes, depth-first, self excluded."""
+        for item in self.items:
+            if isinstance(item, Scope):
+                yield item
+                yield from item.scopes()
+
+    def stmts(self):
+        """All statements in this scope and below, in source order."""
+        for item in self.items:
+            if isinstance(item, Stmt):
+                yield item
+            else:
+                yield from item.stmts()
+
+    def function_ancestor(self) -> "Scope | None":
+        s = self.parent
+        while s is not None and s.kind not in ("function", "lambda"):
+            s = s.parent
+        return s
+
+    def outermost_function(self) -> "Scope | None":
+        best = None
+        s = self if self.kind in ("function", "lambda") else self.function_ancestor()
+        while s is not None:
+            if s.kind == "function":
+                best = s
+            s = s.function_ancestor()
+        return best
+
+    def in_loop(self) -> bool:
+        s = self
+        while s is not None:
+            if s.kind == "loop":
+                return True
+            # A lambda body does not run once per iteration just because
+            # the lambda object is built inside a loop — but building it
+            # there is itself suspect, so we do not stop at lambdas.
+            s = s.parent
+        return False
+
+    # --- loop-specific helpers -------------------------------------------
+    def range_for_parts(self):
+        """For a range-for loop scope, returns (decl_tokens, expr_tokens);
+        None for anything else. The split is the top-level ':' inside the
+        for-header parens."""
+        if self.kind != "loop" or not self.header or self.header[0].text != "for":
+            return None
+        depth = 0
+        start = None
+        for idx, tok in enumerate(self.header):
+            if tok.text == "(":
+                depth += 1
+                if depth == 1:
+                    start = idx + 1
+            elif tok.text == ")":
+                depth -= 1
+                if depth == 0:
+                    end = idx
+                    break
+            elif tok.text == ":" and depth == 1:
+                colon = idx
+                break
+        else:
+            return None
+        if self.header[idx].text != ":":
+            return None
+        # find matching close paren for expr slice
+        depth = 1
+        end = len(self.header)
+        for j in range(colon + 1, len(self.header)):
+            if self.header[j].text == "(":
+                depth += 1
+            elif self.header[j].text == ")":
+                depth -= 1
+                if depth == 0:
+                    end = j
+                    break
+        return self.header[start:colon], self.header[colon + 1 : end]
+
+
+@dataclass
+class Decl:
+    name: str
+    type_str: str
+    line: int
+    is_ref: bool = False
+    is_ptr: bool = False
+    init: list[Token] = field(default_factory=list)
+
+
+def _match_angles(tokens: list[Token], i: int) -> int:
+    """tokens[i] is '<' opening a template argument list; returns the index
+    one past the matching '>'. `>>` lexes as two '>' tokens, so a plain
+    counter works. Gives up (returns i) if the list never closes or if
+    this '<' looks like a comparison (heuristic: ';' before any '>')."""
+    depth = 0
+    for j in range(i, len(tokens)):
+        t = tokens[j].text
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return j + 1
+        elif t in (";", "{"):
+            return i
+    return i
+
+
+def parse_decl(tokens: list[Token]) -> Decl | None:
+    """Best-effort parse of `tokens` as a simple variable declaration:
+    `[specifiers] type [&*] name [= init | (init) | {init}] [;]`.
+    Returns None when the statement does not look like one. Handles
+    qualified ids, template argument lists, and multi-word builtin types;
+    does not try to handle multi-declarator statements (`int a, b;`) —
+    none of the rules need them."""
+    i = 0
+    n = len(tokens)
+    while i < n and tokens[i].kind == "ident" and tokens[i].text in _SPECIFIERS:
+        i += 1
+    if i >= n or tokens[i].kind != "ident":
+        return None
+    if tokens[i].text in _NOT_A_TYPE:
+        return None
+
+    type_start = i
+    if tokens[i].text in _BUILTIN_TYPE_WORDS and tokens[i].text not in ("std", "auto"):
+        while i < n and tokens[i].kind == "ident" and tokens[i].text in _BUILTIN_TYPE_WORDS:
+            i += 1
+    else:
+        # qualified-id with optional template args on each segment
+        while True:
+            if i >= n or tokens[i].kind != "ident":
+                return None
+            i += 1
+            if i < n and tokens[i].text == "<":
+                j = _match_angles(tokens, i)
+                if j == i:
+                    return None
+                i = j
+            if i < n and tokens[i].text == "::":
+                i += 1
+                continue
+            break
+    type_tokens = tokens[type_start:i]
+
+    is_ref = is_ptr = False
+    while i < n and tokens[i].text in ("&", "*"):
+        if tokens[i].text == "&":
+            is_ref = True
+        else:
+            is_ptr = True
+        i += 1
+
+    if i >= n or tokens[i].kind != "ident" or tokens[i].text in _NOT_A_TYPE:
+        return None
+    name_tok = tokens[i]
+    i += 1
+    if i < n and tokens[i].text not in (";", "=", "(", "{", "[", ",", ")"):
+        return None
+
+    init: list[Token] = []
+    if i < n and tokens[i].text == "=":
+        init = tokens[i + 1 :]
+    elif i < n and tokens[i].text in ("(", "{"):
+        init = tokens[i + 1 :]
+    type_str = "".join(t.text for t in type_tokens)
+    return Decl(
+        name=name_tok.text,
+        type_str=type_str,
+        line=name_tok.line,
+        is_ref=is_ref,
+        is_ptr=is_ptr,
+        init=init,
+    )
+
+
+def _split_params(tokens: list[Token]) -> list[list[Token]]:
+    """Splits a parenthesized parameter list (tokens inside the outermost
+    parens of a function header) on top-level commas."""
+    out: list[list[Token]] = []
+    depth = 0
+    cur: list[Token] = []
+    for t in tokens:
+        if t.text in ("(", "[", "{"):
+            depth += 1
+        elif t.text in (")", "]", "}"):
+            depth -= 1
+        elif t.text == "<":
+            depth += 1
+        elif t.text == ">":
+            depth = max(depth - 1, 0)
+        if t.text == "," and depth == 0:
+            out.append(cur)
+            cur = []
+        else:
+            cur.append(t)
+    if cur:
+        out.append(cur)
+    return out
+
+
+def _header_paren_contents(header: list[Token]) -> list[Token]:
+    """Tokens inside the last top-level (...) group of a header — the
+    parameter list of a function header, the condition of an if/while."""
+    depth = 0
+    start = None
+    groups: list[tuple[int, int]] = []
+    for idx, tok in enumerate(header):
+        if tok.text == "(":
+            depth += 1
+            if depth == 1:
+                start = idx + 1
+        elif tok.text == ")":
+            depth -= 1
+            if depth == 0 and start is not None:
+                groups.append((start, idx))
+                start = None
+    if not groups:
+        return []
+    s, e = groups[-1]
+    return header[s:e]
+
+
+class TranslationUnit:
+    """Parse result: the scope tree plus the flat declaration table."""
+
+    def __init__(self, path: str, text: str):
+        self.path = path
+        self.all_tokens = lex(text)
+        self.tokens = significant(self.all_tokens)
+        self.root = _build_tree(self.tokens)
+        self.decls: dict[str, Decl] = {}
+        self._collect_decls()
+
+    # -- declaration table -------------------------------------------------
+    def _collect_decls(self) -> None:
+        for stmt in self.root.stmts():
+            d = parse_decl(stmt.tokens)
+            if d is not None:
+                self.decls.setdefault(d.name, d)
+        for scope in self.root.scopes():
+            if scope.kind in ("function", "lambda"):
+                for param in _split_params(_header_paren_contents(scope.header)):
+                    d = parse_decl(param)
+                    if d is not None:
+                        self.decls.setdefault(d.name, d)
+            elif scope.kind == "loop":
+                parts = scope.range_for_parts()
+                if parts is not None:
+                    d = parse_decl(parts[0])
+                    if d is not None:
+                        self.decls.setdefault(d.name, d)
+
+    def decl_type(self, name: str) -> str:
+        d = self.decls.get(name)
+        return d.type_str if d is not None else ""
+
+    def unordered_names(self) -> set[str]:
+        """Names whose declared type mentions an unordered container —
+        including containers *of* unordered containers, whose elements
+        iterate in hash order just the same."""
+        out = set()
+        for name, d in self.decls.items():
+            if "unordered_map<" in d.type_str or "unordered_set<" in d.type_str \
+                    or "unordered_multimap<" in d.type_str \
+                    or "unordered_multiset<" in d.type_str:
+                out.add(name)
+        return out
+
+    def functions(self):
+        for scope in self.root.scopes():
+            if scope.kind == "function":
+                yield scope
+
+
+def _classify(pending: list[Token], parent_kind: str, paren_depth: int) -> tuple[str, str | None]:
+    """Decides what scope a '{' opens, from the tokens accumulated since
+    the last statement boundary. Returns (kind, name)."""
+    texts = [t.text for t in pending]
+
+    if paren_depth > 0:
+        return "init", None
+
+    if texts:
+        head = texts[0]
+        if head == "namespace" or (head == "inline" and len(texts) > 1 and texts[1] == "namespace"):
+            idents = [t for t in texts[1:] if t not in ("inline", "namespace")]
+            return "namespace", idents[-1] if idents else None
+        if head == "else":
+            return ("elif", None) if "if" in texts else ("else", None)
+        if head in ("if",):
+            return "if", None
+        if head in ("for", "while"):
+            return "loop", None
+        if head == "do":
+            return "loop", None
+        if head == "switch":
+            return "switch", None
+        if head in ("try", "catch"):
+            return "block", None
+        if head == "case" or head == "default":
+            return "block", None
+
+    # class/struct/enum definition (possibly after template<...>)
+    for idx, t in enumerate(texts):
+        if t in _CLASS_KEYS:
+            if "=" in texts[:idx] or "(" in texts[:idx]:
+                break
+            name = None
+            for t2 in pending[idx + 1 :]:
+                if t2.kind == "ident" and t2.text not in ("final", "alignas"):
+                    name = t2.text
+                    break
+                if t2.text in (":", "{", "<"):
+                    break
+            return "class", name
+        if t in ("(", "=", "return"):
+            break
+
+    if texts and texts[-1] == "=":
+        return "init", None
+    if texts and texts[-1] in (",", "return", "(", "{"):
+        return "init", None
+
+    closed_paren = ")" in texts and texts and (
+        texts[-1] == ")"
+        or texts[-1] in ("const", "noexcept", "override", "final", "mutable")
+        or "->" in texts[max(0, len(texts) - 6) :]
+        # constructor member-init list: `Ctor(...) : field_(x), other_(y)`
+        or (":" in texts and ")" in texts)
+    )
+    if closed_paren:
+        if parent_kind in ("file", "namespace", "class"):
+            # function definition: name = identifier before the first
+            # top-level '(' (skipping a qualified-id chain)
+            name = None
+            depth = 0
+            for idx, tok in enumerate(pending):
+                if tok.text == "(" and depth == 0:
+                    for back in range(idx - 1, -1, -1):
+                        if pending[back].kind == "ident":
+                            name = pending[back].text
+                            break
+                    break
+                if tok.text == "<":
+                    depth += 1
+                elif tok.text == ">":
+                    depth = max(depth - 1, 0)
+            return "function", name
+        # inside code: a ')' right before '{' is a lambda body when a
+        # lambda-introducer bracket appears in the statement
+        if "[" in texts:
+            return "lambda", None
+        return "block", None
+
+    if texts and texts[-1] == "]" and "[" in texts:
+        return "lambda", None  # capture-only lambda: [&]{ ... }
+
+    if parent_kind in ("function", "lambda", "loop", "if", "elif", "else",
+                       "switch", "block"):
+        # `T x{...}` uniform init, or a bare block
+        return ("init", None) if texts else ("block", None)
+    return "block", None
+
+
+def _build_tree(tokens: list[Token]) -> Scope:
+    root = Scope(kind="file")
+    current = root
+    pending: list[Token] = []
+    paren_depth = 0
+    # scopes whose statement continues around them (lambda / init braces):
+    # on close, restore the saved pending and keep accumulating.
+    saved: list[tuple[Scope, list[Token], int]] = []
+
+    def flush() -> None:
+        nonlocal pending
+        if pending:
+            current.items.append(Stmt(pending))
+            pending = []
+
+    for tok in tokens:
+        t = tok.text
+        if t == "{":
+            kind, name = _classify(pending, current.kind, paren_depth)
+            scope = Scope(kind=kind, header=list(pending), name=name,
+                          line=tok.line, parent=current)
+            current.items.append(scope)
+            if kind in ("lambda", "init"):
+                saved.append((scope, pending, paren_depth))
+                pending = []
+                paren_depth = 0
+            else:
+                pending = []
+                paren_depth = 0
+            current = scope
+        elif t == "}":
+            flush()
+            if saved and saved[-1][0] is current:
+                _, pending, paren_depth = saved.pop()
+            if current.parent is not None:
+                current = current.parent
+        elif t == ";" and paren_depth == 0:
+            pending.append(tok)
+            flush()
+        else:
+            if t == "(":
+                paren_depth += 1
+            elif t == ")":
+                paren_depth = max(paren_depth - 1, 0)
+            pending.append(tok)
+
+    flush()
+    return root

@@ -1,0 +1,225 @@
+"""C++ lexer for dtnlint.
+
+A real tokenizer, not a line regex: it understands line and block comments,
+string / char / raw-string literals, numeric literals (including digit
+separators, so `1'000'000` never opens a char literal), and preprocessor
+lines (including backslash continuations). Rules therefore never fire on
+text inside a comment or a literal — the false-positive class that plagued
+the original line-grep lint (see tests/lint/fixture_comment_immunity.cpp).
+
+The token stream is intentionally small:
+
+  kind      text
+  --------  ---------------------------------------------------------
+  ident     identifiers and keywords (`for`, `rand`, `std`, ...)
+  number    numeric literals, one token each
+  string    string literals, including raw strings; text is the quoted
+            source (rules never need the decoded value)
+  char      character literals
+  punct     operators/punctuation; multi-char only where structure needs
+            it (`::` and `->`); everything else is one char per token
+  comment   // and /* */ comments (excluded from the significant stream)
+  pp        a whole preprocessor directive, continuations included
+            (excluded from the significant stream — macro bodies are not
+            code the compiler sees at this spot)
+
+`lex()` returns every token; `significant()` filters to the stream the
+parser and the rules consume. Tokens carry 1-based line numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # compact, for rule debugging
+        return f"{self.kind}:{self.text!r}@{self.line}"
+
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+# Two-char puncts the parser relies on. Everything else (<<, >>, <=, ...)
+# is deliberately split into single chars: `>>` closing two template
+# argument lists then lexes as two `>` tokens, which is exactly what the
+# angle-bracket matcher wants.
+_TWO_CHAR = {"::", "->"}
+
+
+def lex(text: str) -> list[Token]:
+    """Tokenizes `text`. Never raises on malformed input: an unterminated
+    literal or comment simply extends to end of file (the lint must keep
+    working on code the compiler would reject)."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    line = 1
+    at_line_start = True  # only whitespace seen since the last newline
+
+    def take(kind: str, start: int, end: int, start_line: int) -> None:
+        tokens.append(Token(kind, text[start:end], start_line))
+
+    while i < n:
+        c = text[i]
+
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\v\f":
+            i += 1
+            continue
+
+        # Preprocessor directive: swallow through any backslash-continued
+        # newlines. Comments inside the directive are consumed with it.
+        if c == "#" and at_line_start:
+            start, start_line = i, line
+            while i < n:
+                if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    line += 1
+                    i += 2
+                    continue
+                if text[i] == "\n":
+                    break
+                # A block comment may hide the newline that ends the
+                # directive; skip it atomically.
+                if text[i] == "/" and i + 1 < n and text[i + 1] == "*":
+                    i += 2
+                    while i < n and not (
+                        text[i] == "*" and i + 1 < n and text[i + 1] == "/"
+                    ):
+                        if text[i] == "\n":
+                            line += 1
+                        i += 1
+                    i = min(i + 2, n)
+                    continue
+                i += 1
+            take("pp", start, i, start_line)
+            at_line_start = True  # the upcoming "\n" resets it anyway
+            continue
+
+        at_line_start = False
+
+        # Comments.
+        if c == "/" and i + 1 < n:
+            if text[i + 1] == "/":
+                start, start_line = i, line
+                while i < n and text[i] != "\n":
+                    i += 1
+                take("comment", start, i, start_line)
+                continue
+            if text[i + 1] == "*":
+                start, start_line = i, line
+                i += 2
+                while i < n and not (
+                    text[i] == "*" and i + 1 < n and text[i + 1] == "/"
+                ):
+                    if text[i] == "\n":
+                        line += 1
+                    i += 1
+                i = min(i + 2, n)
+                take("comment", start, i, start_line)
+                continue
+
+        # Raw string literal: R"delim( ... )delim" with optional encoding
+        # prefix (u8R, LR, uR, UR).
+        if c in "RuUL" or c == "u":
+            j = i
+            if text[j] == "u" and j + 1 < n and text[j + 1] == "8":
+                j += 2
+            elif text[j] in "uUL":
+                j += 1
+            if j < n and text[j] == "R" and j + 1 < n and text[j + 1] == '"':
+                start, start_line = i, line
+                j += 2  # past R"
+                d0 = j
+                while j < n and text[j] != "(":
+                    j += 1
+                delim = text[d0:j]
+                closer = ")" + delim + '"'
+                end = text.find(closer, j)
+                end = n if end == -1 else end + len(closer)
+                line += text.count("\n", i, end)
+                take("string", start, end, start_line)
+                i = end
+                continue
+
+        # Ordinary string / char literal, with optional encoding prefix.
+        if c in "\"'" or (
+            c in "uUL"
+            and i + 1 < n
+            and (
+                text[i + 1] in "\"'"
+                or (c == "u" and text[i + 1] == "8" and i + 2 < n and text[i + 2] in "\"'")
+            )
+        ):
+            start, start_line = i, line
+            j = i
+            while text[j] not in "\"'":
+                j += 1
+            quote = text[j]
+            j += 1
+            while j < n and text[j] != quote:
+                if text[j] == "\\" and j + 1 < n:
+                    j += 1
+                elif text[j] == "\n":
+                    line += 1  # unterminated literal: keep line counts right
+                j += 1
+            j = min(j + 1, n)
+            take("string" if quote == '"' else "char", start, j, start_line)
+            i = j
+            continue
+
+        # Identifier / keyword.
+        if c in _IDENT_START:
+            start = i
+            while i < n and text[i] in _IDENT_CONT:
+                i += 1
+            take("ident", start, i, line)
+            continue
+
+        # Number: also covers `.5`; consumes digit separators and the
+        # sign of an exponent so `1e-9` and `0x1p-3` are single tokens.
+        if c in _DIGITS or (
+            c == "." and i + 1 < n and text[i + 1] in _DIGITS
+        ):
+            start = i
+            i += 1
+            while i < n:
+                ch = text[i]
+                if ch in _IDENT_CONT or ch == ".":
+                    i += 1
+                elif ch == "'" and i + 1 < n and text[i + 1] in _IDENT_CONT:
+                    i += 2  # digit separator
+                elif ch in "+-" and text[i - 1] in "eEpP":
+                    i += 1
+                else:
+                    break
+            take("number", start, i, line)
+            continue
+
+        # Punctuation.
+        if text[i : i + 2] in _TWO_CHAR:
+            take("punct", i, i + 2, line)
+            i += 2
+            continue
+        take("punct", i, i + 1, line)
+        i += 1
+
+    return tokens
+
+
+def significant(tokens: list[Token]) -> list[Token]:
+    """The stream rules and the parser consume: no comments, no
+    preprocessor lines, no literal *contents* masquerading as code."""
+    return [t for t in tokens if t.kind not in ("comment", "pp")]

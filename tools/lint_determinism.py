@@ -1,327 +1,63 @@
 #!/usr/bin/env python3
-"""Determinism lint for the dtncache source tree.
+"""Determinism lint for the dtncache source tree — compatibility shim.
 
-The repo's headline guarantee (PR 1, tests/determinism_test.cpp) is that a
-simulation's output is byte-identical for every thread count and across
-re-runs. That guarantee dies quietly the moment someone introduces ambient
-nondeterminism, so this lint greps src/ for the constructs that break it:
+The seven PR 2/PR 5 rules now live in tools/dtnlint/ (rules_legacy.py),
+re-hosted on a real C++ lexer and structural parser instead of the
+line-regex heuristics this file used to carry. The lexer closes a whole
+false-positive class: nothing can fire inside a comment, a string/char
+literal, a raw string, or a preprocessor line (regression fixture:
+tests/lint/fixture_comment_immunity.cpp). This shim preserves the old
+command line, output shape, and exit codes, and runs exactly the legacy
+rule set — the five new flow-aware rules run under `python3 tools/dtnlint`.
 
   rule id            construct
-  -----------------  ----------------------------------------------------------
-  libc-rand          rand(), srand(), std::rand — the hidden-global libc RNG
-  random-device      std::random_device — hardware entropy, different each run
+  -----------------  ----------------------------------------------------
+  libc-rand          rand(), srand(), std::rand — hidden-global libc RNG
+  random-device      std::random_device — hardware entropy
   wall-clock-seed    time(nullptr) / time(NULL) / time(0)
-  chrono-now         std::chrono::*_clock::now() — wall/steady clock reads
-                     outside designated timing code (see allowlist)
-  fs-mtime           filesystem last_write_time() — file timestamps vary
-                     across checkouts/copies; only cache-freshness probing
-                     whose outcome cannot change results may read them
-  unordered-fold     range-for over a std::unordered_map/std::unordered_set
-                     inside a function that writes CSV or folds statistics —
-                     iteration order is implementation-defined, so the folded
-                     floats / emitted rows depend on hash-table layout
-  vector-in-loop     a std::vector declared inside a loop body in a
-                     src/graph/ file — the path engine's inner loops are the
-                     hottest code in the tree and run allocation-free by
-                     contract (PR 5); per-iteration vectors reintroduce the
-                     malloc traffic the workspace rewrite removed. Hoist the
-                     vector into a PathWorkspace / HypoexpWorkspace scratch
-                     (allowlist the legacy reference engine, which keeps the
-                     old allocation pattern on purpose)
+  chrono-now         *_clock::now() outside designated timing code
+  fs-mtime           filesystem last_write_time()
+  unordered-fold     range-for over an unordered container in a function
+                     that writes CSV or folds statistics
+  vector-in-loop     std::vector declared in a loop body in src/graph/
 
-False-positive escape hatch: tools/lint_allowlist.txt. One entry per line,
-`<path-relative-to-repo>:<rule-id>[:<substring>]`; a hit is suppressed when
-its file and rule match an entry and, if the entry carries a substring, the
-offending line contains it. `#` starts a comment. Every allowlist entry
-should say *why* in a trailing comment — an entry is a reviewed exception,
-not a mute button.
+False-positive escape hatch: tools/lint_allowlist.txt, shared with dtnlint
+(`path:rule[:substring]  # why`; every entry is a reviewed exception).
 
 Usage:
   tools/lint_determinism.py                 lint src/ and tools/*.cpp
   tools/lint_determinism.py FILE [FILE...]  lint specific files
-  tools/lint_determinism.py --self-test DIR run against the lint fixtures in
-                                            DIR (tests/lint): the banned
-                                            fixture must trip every rule, the
-                                            clean fixture none, and the
-                                            fixture allowlist must suppress
+  tools/lint_determinism.py --self-test DIR run against the lint fixtures
+                                            in DIR (tests/lint)
 
 Exit status: 0 clean, 1 findings (or self-test failure), 2 usage error.
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_ALLOWLIST = REPO_ROOT / "tools" / "lint_allowlist.txt"
+sys.path.insert(0, str(Path(__file__).resolve().parent / "dtnlint"))
 
-# Direct banned tokens: (rule id, compiled regex, human explanation).
-TOKEN_RULES = [
-    (
-        "libc-rand",
-        re.compile(r"(?<![:\w])(?:std::)?s?rand\s*\("),
-        "libc rand()/srand() uses hidden global state; use dtn::Rng with an "
-        "explicit seed",
-    ),
-    (
-        "random-device",
-        re.compile(r"std::random_device"),
-        "std::random_device draws hardware entropy, different on every run; "
-        "derive seeds with dtn::derive_seed instead",
-    ),
-    (
-        "wall-clock-seed",
-        re.compile(r"(?<![:\w])time\s*\(\s*(?:nullptr|NULL|0)\s*\)"),
-        "time(nullptr) makes the run depend on the wall clock; thread the "
-        "seed through the config instead",
-    ),
-    (
-        "chrono-now",
-        re.compile(r"(?:std::chrono::\w+_clock|\b\w+_clock)::now\s*\("),
-        "clock reads are nondeterministic; keep them out of simulation and "
-        "statistics code (allowlist genuine timing/progress call sites)",
-    ),
-    (
-        "fs-mtime",
-        re.compile(r"\blast_write_time\s*\("),
-        "file mtimes differ across checkouts and copies; results must never "
-        "depend on them (allowlist observation-only cache-freshness probes "
-        "whose worst case is an extra re-parse of identical bytes)",
-    ),
-]
+import engine  # noqa: E402
+import rules_legacy  # noqa: E402,F401  (import registers the legacy rules)
 
-# A line that starts a range-for over an unordered container. Catches both
-# direct members (`for (auto& kv : sizes_)`) and locals when the declared
-# type is visible in the same file (second pass below).
-RANGE_FOR_RE = re.compile(r"for\s*\(.*?:\s*(?P<expr>[^)]+)\)")
-UNORDERED_DECL_RE = re.compile(
-    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*"
-    r"(?P<name>\w+)\s*[;={(]"
-)
-UNORDERED_INLINE_RE = re.compile(r"std::unordered_(?:map|set|multimap|multiset)\b")
+REPO_ROOT = engine.REPO_ROOT
+DEFAULT_ALLOWLIST = engine.DEFAULT_ALLOWLIST
 
-# vector-in-loop applies only to the path-engine hot files (plus the lint
-# fixtures, which must exercise every rule). A vector *declaration* inside a
-# loop body; references/pointers (`const std::vector<double>&`) do not match
-# because the regex requires a plain identifier right after the template
-# argument list.
-HOT_PATH_RE = re.compile(r"^src/graph/")
-VECTOR_DECL_RE = re.compile(r"\bstd::vector\s*<[^;(){}]*>\s+\w+\s*[;={(\[]")
-LOOP_HEADER_RE = re.compile(r"(?<![\w:])(?:for|while)\s*\(|(?<![\w:])do\s*\{")
-
-# A function body counts as "writes CSV or folds statistics" when it touches
-# any of these. Deliberately narrow: flagging every unordered iteration in
-# the tree would drown the signal (order-independent predicates like any_of
-# are fine); these markers are where iteration order reaches output bytes or
-# floating-point accumulation order.
-FOLD_MARKER_RE = re.compile(
-    r"csv|\bCSV\b|add_cell|add_number|add_integer|add_row|RunningStats|"
-    r"\.merge\(|percentile\(|\bgini\(|sample_copy_count|count_bytes"
-)
+LEGACY_RULE_IDS = sorted(r.rule_id for r in engine.legacy_rules())
 
 
-def strip_comments(line: str) -> str:
-    """Removes // comments and a best-effort pass at string literals."""
-    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
-    return line.split("//", 1)[0]
-
-
-def load_allowlist(path: Path):
-    entries = []
-    if not path.exists():
-        return entries
-    for raw in path.read_text().splitlines():
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
-        parts = line.split(":", 2)
-        if len(parts) < 2:
-            print(f"lint_determinism: bad allowlist entry: {raw!r}",
-                  file=sys.stderr)
-            sys.exit(2)
-        entries.append(
-            {
-                "path": parts[0].strip(),
-                "rule": parts[1].strip(),
-                "substring": parts[2].strip() if len(parts) == 3 else None,
-            }
-        )
-    return entries
-
-
-def allowed(entries, rel_path: str, rule: str, line_text: str) -> bool:
-    for e in entries:
-        if e["path"] != rel_path or e["rule"] != rule:
-            continue
-        if e["substring"] is None or e["substring"] in line_text:
-            return True
-    return False
-
-
-NAMESPACE_OPEN_RE = re.compile(r"^\s*(?:inline\s+)?namespace\b[^{}]*\{\s*$")
-
-
-def function_chunks(lines):
-    """Yields (start_line, end_line, body_text) for brace-balanced chunks.
-
-    A heuristic C++ "function" is a top-level `{ ... }` region, where
-    namespace braces are transparent (otherwise the conventional
-    `namespace dtn { ... }` wrapper would collapse every file into one
-    chunk). We do not parse declarators: for lint purposes a class body
-    chunk containing a fold marker is just as suspicious as a free function.
-    """
-    depth = 0
-    start = None
-    buf = []
-    for i, line in enumerate(lines, start=1):
-        code = strip_comments(line)
-        if start is None and NAMESPACE_OPEN_RE.match(code):
-            continue  # transparent: do not count the namespace brace
-        opens = code.count("{")
-        closes = code.count("}")
-        if depth == 0 and opens > 0:
-            start = i
-            buf = []
-        if start is not None:
-            buf.append(line)
-        depth += opens - closes
-        if start is not None and depth <= 0:
-            yield start, i, "\n".join(buf)
-            start = None
-        depth = max(depth, 0)  # unmatched namespace closers clamp back
-
-
-def loop_body_depth(lines):
-    """Yields (lineno, nesting) where nesting = enclosing loop bodies.
-
-    A small character-level state machine: a `for`/`while` keyword arms the
-    scanner, the matching close paren of its header ends the header, and the
-    next `{` opens a loop body (a `;` first means a braceless single-statement
-    body, which cannot contain a declaration). `do` arms the scanner with the
-    body brace expected immediately. Multi-line headers work because the
-    state persists across lines.
-    """
-    depth = 0  # brace depth
-    paren = 0
-    loop_depths = []  # brace depths whose region is a loop body
-    awaiting = None  # None | ("header", paren_base) | "body"
-    for i, line in enumerate(lines, start=1):
-        code = strip_comments(line)
-        yield i, len(loop_depths)
-        starts = {m.start(): m.group(0) for m in LOOP_HEADER_RE.finditer(code)}
-        for pos, ch in enumerate(code):
-            if pos in starts:
-                awaiting = "body" if starts[pos].startswith("do") else (
-                    "header", paren)
-            if ch == "(":
-                paren += 1
-            elif ch == ")":
-                paren -= 1
-                if isinstance(awaiting, tuple) and paren == awaiting[1]:
-                    awaiting = "body"
-            elif ch == "{":
-                depth += 1
-                if awaiting == "body":
-                    loop_depths.append(depth)
-                    awaiting = None
-            elif ch == "}":
-                if loop_depths and loop_depths[-1] == depth:
-                    loop_depths.pop()
-                depth = max(depth - 1, 0)
-            elif ch == ";" and awaiting == "body" and paren == 0:
-                awaiting = None  # braceless loop body: for (...) stmt;
-
-
-def lint_vector_in_loop(rel, lines, allowlist, findings):
-    for lineno, nesting in loop_body_depth(lines):
-        if nesting == 0:
-            continue
-        raw = lines[lineno - 1]
-        code = strip_comments(raw)
-        if not VECTOR_DECL_RE.search(code):
-            continue
-        if allowed(allowlist, rel, "vector-in-loop", raw):
-            continue
-        findings.append(
-            (
-                rel,
-                lineno,
-                "vector-in-loop",
-                raw.strip(),
-                "path-engine hot loops are allocation-free by contract; "
-                "hoist this vector into a PathWorkspace/HypoexpWorkspace "
-                "scratch (or allowlist deliberate legacy-reference code)",
-            )
-        )
-
-
-def lint_file(path: Path, allowlist, findings):
-    rel = path.resolve().relative_to(REPO_ROOT).as_posix()
-    try:
-        text = path.read_text()
-    except (OSError, UnicodeDecodeError) as err:
-        print(f"lint_determinism: cannot read {rel}: {err}", file=sys.stderr)
-        sys.exit(2)
-    lines = text.splitlines()
-
-    for lineno, raw in enumerate(lines, start=1):
-        code = strip_comments(raw)
-        for rule, pattern, why in TOKEN_RULES:
-            if pattern.search(code) and not allowed(allowlist, rel, rule, raw):
-                findings.append((rel, lineno, rule, raw.strip(), why))
-
-    if HOT_PATH_RE.match(rel) or path.name.startswith("fixture_"):
-        lint_vector_in_loop(rel, lines, allowlist, findings)
-
-    # unordered-fold: names of unordered containers declared in this file,
-    # plus literal inline unordered types in the loop expression.
-    unordered_names = set(UNORDERED_DECL_RE.findall(text))
-    for start, _end, body in function_chunks(lines):
-        if not FOLD_MARKER_RE.search(body):
-            continue
-        for offset, raw in enumerate(body.splitlines()):
-            code = strip_comments(raw)
-            m = RANGE_FOR_RE.search(code)
-            if not m:
-                continue
-            expr = m.group("expr").strip()
-            base = re.split(r"[.\->(]", expr, 1)[0].strip().lstrip("*&")
-            if base not in unordered_names and not UNORDERED_INLINE_RE.search(expr):
-                continue
-            lineno = start + offset
-            rule = "unordered-fold"
-            if allowed(allowlist, rel, rule, raw):
-                continue
-            findings.append(
-                (
-                    rel,
-                    lineno,
-                    rule,
-                    raw.strip(),
-                    "iteration order of unordered containers is "
-                    "implementation-defined; sort the keys (or iterate a "
-                    "deterministic index) before folding stats or writing CSV",
-                )
-            )
-
-
-def default_targets():
-    targets = sorted((REPO_ROOT / "src").rglob("*.cpp"))
-    targets += sorted((REPO_ROOT / "src").rglob("*.h"))
-    targets += sorted((REPO_ROOT / "tools").glob("*.cpp"))
-    return targets
-
-
-def report(findings) -> int:
-    for rel, lineno, rule, line, why in findings:
-        print(f"{rel}:{lineno}: [{rule}] {line}")
-        print(f"    {why}")
-    if findings:
+def report(result) -> int:
+    for f in result.findings:
+        print(f"{f.file}:{f.line}: [{f.rule}] {f.snippet}")
+        print(f"    {f.message}")
+    if result.findings:
         print(
-            f"lint_determinism: {len(findings)} finding(s); fix them or add "
-            f"a reviewed entry to {DEFAULT_ALLOWLIST.relative_to(REPO_ROOT)}"
+            f"lint_determinism: {len(result.findings)} finding(s); fix them "
+            f"or add a reviewed entry to "
+            f"{DEFAULT_ALLOWLIST.relative_to(REPO_ROOT)}"
         )
         return 1
     print("lint_determinism: OK")
@@ -329,45 +65,51 @@ def report(findings) -> int:
 
 
 def self_test(fixture_dir: Path) -> int:
+    rules = engine.legacy_rules()
     banned = fixture_dir / "fixture_banned.cpp"
     clean = fixture_dir / "fixture_clean.cpp"
+    immune = fixture_dir / "fixture_comment_immunity.cpp"
     allowlisted = fixture_dir / "fixture_allowlisted.cpp"
     fixture_allowlist = fixture_dir / "fixture_allowlist.txt"
-    for f in (banned, clean, allowlisted, fixture_allowlist):
+    for f in (banned, clean, immune, allowlisted, fixture_allowlist):
         if not f.exists():
             print(f"self-test: missing fixture {f}", file=sys.stderr)
             return 1
 
     failures = []
 
-    findings = []
-    lint_file(banned, [], findings)
-    tripped = {rule for _, _, rule, _, _ in findings}
-    expected = {rule for rule, _, _ in TOKEN_RULES} | {
-        "unordered-fold",
-        "vector-in-loop",
-    }
-    for rule in sorted(expected - tripped):
-        failures.append(f"banned fixture did not trip rule {rule!r}")
+    result = engine.lint_paths([banned], rules, [])
+    tripped = {f.rule for f in result.findings}
+    for rule_id in LEGACY_RULE_IDS:
+        if rule_id not in tripped:
+            failures.append(f"banned fixture did not trip rule {rule_id!r}")
 
-    findings = []
-    lint_file(clean, [], findings)
-    for rel, lineno, rule, _, _ in findings:
-        failures.append(f"clean fixture tripped {rule!r} at {rel}:{lineno}")
+    for clean_fixture in (clean, immune):
+        result = engine.lint_paths([clean_fixture], rules, [])
+        for f in result.findings:
+            failures.append(
+                f"{clean_fixture.name} tripped {f.rule!r} at "
+                f"{f.file}:{f.line}"
+            )
 
     # The allowlisted fixture contains one banned hit per entry in the
-    # fixture allowlist: with it loaded, everything must be suppressed;
-    # without it, something must fire (otherwise the test proves nothing).
-    entries = load_allowlist(fixture_allowlist)
-    findings = []
-    lint_file(allowlisted, entries, findings)
-    for rel, lineno, rule, _, _ in findings:
+    # fixture allowlist: with it loaded, everything must be suppressed and
+    # every entry must have suppressed something (a fixture-level staleness
+    # check); without it, something must fire.
+    entries = engine.load_allowlist(fixture_allowlist)
+    result = engine.lint_paths([allowlisted], rules, entries)
+    for f in result.findings:
         failures.append(
-            f"allowlist failed to suppress {rule!r} at {rel}:{lineno}"
+            f"allowlist failed to suppress {f.rule!r} at {f.file}:{f.line}"
         )
-    findings = []
-    lint_file(allowlisted, [], findings)
-    if not findings:
+    for e in entries:
+        if e.hits == 0:
+            failures.append(
+                f"fixture allowlist entry {e.path}:{e.rule} suppressed "
+                f"nothing (stale)"
+            )
+    result = engine.lint_paths([allowlisted], rules, [])
+    if not result.findings:
         failures.append("allowlisted fixture contains no hits at all")
 
     if failures:
@@ -385,15 +127,14 @@ def main(argv) -> int:
             return 2
         return self_test(Path(argv[2]))
 
-    targets = [Path(a) for a in argv[1:]] or default_targets()
-    allowlist = load_allowlist(DEFAULT_ALLOWLIST)
-    findings = []
+    targets = [Path(a) for a in argv[1:]] or engine.default_targets()
     for target in targets:
         if not target.exists():
             print(f"lint_determinism: no such file: {target}", file=sys.stderr)
             return 2
-        lint_file(target, allowlist, findings)
-    return report(findings)
+    allowlist = engine.load_allowlist(DEFAULT_ALLOWLIST)
+    result = engine.lint_paths(targets, engine.legacy_rules(), allowlist)
+    return report(result)
 
 
 if __name__ == "__main__":

@@ -2,15 +2,18 @@
 # Staged verification pipeline. Every stage is recorded; the script prints a
 # per-stage summary table at the end and exits non-zero if ANY stage failed.
 #
-#   tools/verify.sh                full: tier-1 + lint + clang-tidy + TSan/ASan/UBSan
+#   tools/verify.sh                full: tier-1 + lint + dtnlint + clang-tidy + TSan/ASan/UBSan
 #   tools/verify.sh --fast         skip the sanitizer rebuilds (local iteration)
 #   tools/verify.sh --no-tsan      legacy flag: skip only the TSan stage
 #   tools/verify.sh --stage NAME   run exactly one stage (CI matrix jobs);
-#                                  NAME in tier-1|lint|clang-tidy|tsan|asan|ubsan
+#                                  NAME in tier-1|lint|dtnlint|clang-tidy|tsan|asan|ubsan
 #
 # Stages (see "Verification matrix" in README.md for what each one catches):
 #   tier-1      release build with -Werror + the full ctest suite
 #   lint        tools/lint_determinism.py over src/ + its fixture self-test
+#   dtnlint     the flow-aware static-analysis engine (tools/dtnlint): all
+#               rules over src/ + tools/*.cpp with the allowlist staleness
+#               audit, plus its per-rule good/bad fixture self-test
 #   clang-tidy  .clang-tidy over every TU (skipped when clang-tidy is absent)
 #   tsan        -fsanitize=thread over the parallel-layer tests
 #   asan        -fsanitize=address over the full ctest suite
@@ -42,8 +45,8 @@ while [[ $# -gt 0 ]]; do
 done
 
 case "$only_stage" in
-  ""|tier-1|lint|clang-tidy|tsan|asan|ubsan) ;;
-  *) echo "unknown stage '$only_stage' (tier-1|lint|clang-tidy|tsan|asan|ubsan)" >&2
+  ""|tier-1|lint|dtnlint|clang-tidy|tsan|asan|ubsan) ;;
+  *) echo "unknown stage '$only_stage' (tier-1|lint|dtnlint|clang-tidy|tsan|asan|ubsan)" >&2
      exit 2 ;;
 esac
 
@@ -116,6 +119,11 @@ stage_lint() {
   python3 tools/lint_determinism.py --self-test tests/lint
 }
 
+stage_dtnlint() {
+  python3 tools/dtnlint --self-test tests/lint/fixtures/dtnlint || return 1
+  python3 tools/dtnlint --audit-allowlist
+}
+
 stage_clang_tidy() {
   # A separate build tree: CMAKE_CXX_CLANG_TIDY changes every compile
   # command, so sharing build/ would force a full rebuild both ways.
@@ -142,6 +150,14 @@ if wanted "lint"; then
     run_stage "lint" stage_lint
   else
     record "lint" "SKIP (no python3)"
+  fi
+fi
+
+if wanted "dtnlint"; then
+  if command -v python3 >/dev/null 2>&1; then
+    run_stage "dtnlint" stage_dtnlint
+  else
+    record "dtnlint" "SKIP (no python3)"
   fi
 fi
 
