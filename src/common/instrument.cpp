@@ -39,6 +39,9 @@ constexpr std::array<const char*, kCounterCount> kCounterNames = {
     "contact_workspace_reuses",
     "bundle_pool_hits",
     "sim_bytes_not_allocated",
+    "shard_epochs",
+    "shard_cross_contacts",
+    "shard_intra_contacts",
 };
 
 constexpr std::array<const char*, kTimerCount> kTimerNames = {

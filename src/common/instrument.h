@@ -65,6 +65,9 @@ enum class Counter : int {
   kContactWorkspaceReuses,      ///< contact workspaces reused without realloc
   kBundlePoolHits,              ///< bundle slots recycled from the free list
   kSimBytesNotAllocated,        ///< bytes the legacy per-contact path allocated
+  kShardEpochs,                 ///< bound-weave epochs (parallel flushes)
+  kShardCrossContacts,          ///< scheme-visible contacts spanning shards
+  kShardIntraContacts,          ///< scheme-visible contacts within one shard
   kCount
 };
 

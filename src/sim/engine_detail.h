@@ -1,0 +1,48 @@
+// Internals shared by the serial event loop (engine.cpp) and the sharded
+// bound-weave engine (shard_engine.cpp). Not part of the public API.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace dtn::detail {
+
+/// Throws std::invalid_argument on any out-of-range SimConfig field. Both
+/// engines validate up front so a bad config fails identically regardless
+/// of shard count.
+void validate_sim_config(const SimConfig& config);
+
+/// Per-node sorted downtime intervals for O(log n) lookups.
+class DowntimeIndex {
+ public:
+  DowntimeIndex(const std::vector<SimConfig::Downtime>& downtimes,
+                NodeId node_count) {
+    intervals_.resize(
+        static_cast<std::size_t>(std::max<NodeId>(node_count, 1)));
+    for (const auto& d : downtimes) {
+      if (d.node < node_count) {
+        intervals_[static_cast<std::size_t>(d.node)].push_back({d.from, d.to});
+      }
+    }
+    for (auto& list : intervals_) std::sort(list.begin(), list.end());
+  }
+
+  bool down(NodeId node, Time when) const {
+    const auto& list = intervals_[static_cast<std::size_t>(node)];
+    // Last interval starting at or before `when`.
+    auto it = std::upper_bound(list.begin(), list.end(),
+                               std::make_pair(when, kNever));
+    if (it == list.begin()) return false;
+    --it;
+    return when < it->second;
+  }
+
+ private:
+  std::vector<std::vector<std::pair<Time, Time>>> intervals_;
+};
+
+}  // namespace dtn::detail

@@ -1,0 +1,263 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace dtn {
+namespace {
+
+/// Load-cap slack over the perfectly balanced share: a node is steered to
+/// its highest-affinity shard unless that shard already carries this much
+/// more than total/K, in which case the next-best feasible shard wins.
+constexpr double kLoadSlack = 0.25;
+
+struct Edge {
+  NodeId a = kNoNode;
+  NodeId b = kNoNode;
+  double weight = 0.0;
+};
+
+}  // namespace
+
+ShardPlan build_shard_plan(const std::vector<ContactEvent>& contacts,
+                           NodeId node_count, int shards) {
+  ShardPlan plan;
+  plan.shard_count = std::max(shards, 1);
+  const std::size_t n =
+      static_cast<std::size_t>(std::max<NodeId>(node_count, 0));
+  const std::size_t k = static_cast<std::size_t>(plan.shard_count);
+  plan.node_shard.assign(n, 0);
+  plan.shard_load.assign(k, 0.0);
+
+  if (n > 0 && plan.shard_count > 1) {
+    // 1. Aggregate contacts into weighted pair edges. For the typical
+    // trace (at most ~1k nodes) a dense upper-triangle count matrix is one
+    // cache-friendly pass; bigger node sets fall back to canonical packed
+    // keys + sort + run-length. Both walk pairs in (lo, hi) lexicographic
+    // order, so they emit the identical edge list and the plan does not
+    // depend on which path ran.
+    std::vector<Edge> edges;
+    if (n <= 1024) {
+      std::vector<std::uint32_t> pair_count(n * n, 0);
+      for (const ContactEvent& e : contacts) {
+        const NodeId lo = std::min(e.a, e.b);
+        const NodeId hi = std::max(e.a, e.b);
+        DTN_CHECK_GE(lo, 0);
+        DTN_CHECK_LE(hi, node_count - 1);
+        ++pair_count[static_cast<std::size_t>(lo) * n +
+                     static_cast<std::size_t>(hi)];
+      }
+      for (std::size_t lo = 0; lo < n; ++lo) {
+        for (std::size_t hi = lo + 1; hi < n; ++hi) {
+          const std::uint32_t c = pair_count[lo * n + hi];
+          if (c == 0) continue;
+          Edge edge;
+          edge.a = static_cast<NodeId>(lo);
+          edge.b = static_cast<NodeId>(hi);
+          edge.weight = static_cast<double>(c);
+          edges.push_back(edge);
+        }
+      }
+    } else {
+      std::vector<std::uint64_t> keys;
+      keys.reserve(contacts.size());
+      for (const ContactEvent& e : contacts) {
+        const NodeId lo = std::min(e.a, e.b);
+        const NodeId hi = std::max(e.a, e.b);
+        DTN_CHECK_GE(lo, 0);
+        DTN_CHECK_LE(hi, node_count - 1);
+        keys.push_back(
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(lo))
+             << 32) |
+            static_cast<std::uint32_t>(hi));
+      }
+      std::sort(keys.begin(), keys.end());
+
+      edges.reserve(keys.size());
+      for (std::size_t i = 0; i < keys.size();) {
+        std::size_t j = i;
+        while (j < keys.size() && keys[j] == keys[i]) ++j;
+        Edge edge;
+        edge.a = static_cast<NodeId>(keys[i] >> 32);
+        edge.b = static_cast<NodeId>(keys[i] & 0xFFFFFFFFu);
+        edge.weight = static_cast<double>(j - i);
+        edges.push_back(edge);
+        i = j;
+      }
+    }
+
+    // 2. Weighted degrees and a CSR adjacency over the aggregated edges.
+    std::vector<double> degree(n, 0.0);
+    std::vector<std::size_t> adj_start(n + 1, 0);
+    for (const Edge& e : edges) {
+      degree[static_cast<std::size_t>(e.a)] += e.weight;
+      degree[static_cast<std::size_t>(e.b)] += e.weight;
+      ++adj_start[static_cast<std::size_t>(e.a) + 1];
+      ++adj_start[static_cast<std::size_t>(e.b) + 1];
+    }
+    for (std::size_t i = 1; i <= n; ++i) adj_start[i] += adj_start[i - 1];
+    std::vector<std::pair<NodeId, double>> adj(edges.size() * 2);
+    std::vector<std::size_t> cursor(adj_start.begin(), adj_start.end() - 1);
+    for (const Edge& e : edges) {
+      adj[cursor[static_cast<std::size_t>(e.a)]++] = {e.b, e.weight};
+      adj[cursor[static_cast<std::size_t>(e.b)]++] = {e.a, e.weight};
+    }
+
+    const double total =
+        std::accumulate(degree.begin(), degree.end(), 0.0);
+    const double max_degree =
+        degree.empty() ? 0.0 : *std::max_element(degree.begin(), degree.end());
+    // The cap never forbids placing a single node: the heaviest hub fits.
+    const double cap = std::max(
+        total * (1.0 + kLoadSlack) / static_cast<double>(plan.shard_count),
+        max_degree);
+
+    // 3. Agglomerate nodes into cap-bounded clusters, heaviest edge first
+    // (a METIS-style coarsening pass over a union-find). On a modular
+    // graph every intra-community edge outweighs every cross-community
+    // edge, so communities coalesce completely before any cross edge is
+    // considered — and by then merging two communities would blow the
+    // cap, so the clusters ARE the communities. Placing nodes one at a
+    // time (the previous scheme here) cannot do this: a node placed
+    // before its community has arrived follows whatever weak edge it has
+    // into an already-seeded shard, and the community then cascades after
+    // it. Sorting by (weight desc, endpoint ids asc) and rooting the
+    // union-find at the minimum id keeps every step deterministic.
+    std::vector<Edge> merge_order(edges);
+    std::sort(merge_order.begin(), merge_order.end(),
+              [](const Edge& x, const Edge& y) {
+                if (x.weight != y.weight) return x.weight > y.weight;
+                if (x.a != y.a) return x.a < y.a;
+                return x.b < y.b;
+              });
+    std::vector<std::int32_t> root(n);
+    std::iota(root.begin(), root.end(), 0);
+    std::vector<double> cluster_load(degree);
+    const auto find_root = [&](std::int32_t v) {
+      while (root[static_cast<std::size_t>(v)] != v) {
+        root[static_cast<std::size_t>(v)] =
+            root[static_cast<std::size_t>(root[static_cast<std::size_t>(v)])];
+        v = root[static_cast<std::size_t>(v)];
+      }
+      return v;
+    };
+    for (const Edge& e : merge_order) {
+      const std::int32_t ra = find_root(e.a);
+      const std::int32_t rb = find_root(e.b);
+      if (ra == rb) continue;
+      const double merged = cluster_load[static_cast<std::size_t>(ra)] +
+                            cluster_load[static_cast<std::size_t>(rb)];
+      if (merged > cap) continue;
+      const std::int32_t keep = std::min(ra, rb);
+      const std::int32_t gone = std::max(ra, rb);
+      root[static_cast<std::size_t>(gone)] = keep;
+      cluster_load[static_cast<std::size_t>(keep)] = merged;
+    }
+
+    // Pack clusters onto shards, heaviest first onto the least-loaded
+    // shard (LPT). Cluster order is (load desc, root id asc); shard ties
+    // resolve to the lowest index.
+    std::vector<std::int32_t> roots;
+    roots.reserve(n);
+    for (std::size_t vi = 0; vi < n; ++vi) {
+      const auto v = static_cast<std::int32_t>(vi);
+      if (find_root(v) == v) roots.push_back(v);
+    }
+    std::sort(roots.begin(), roots.end(),
+              [&](std::int32_t x, std::int32_t y) {
+                const double lx = cluster_load[static_cast<std::size_t>(x)];
+                const double ly = cluster_load[static_cast<std::size_t>(y)];
+                if (lx != ly) return lx > ly;
+                return x < y;
+              });
+    std::vector<std::int32_t> cluster_shard(n, 0);
+    for (const std::int32_t r : roots) {
+      const auto lightest = static_cast<std::int32_t>(
+          std::min_element(plan.shard_load.begin(), plan.shard_load.end()) -
+          plan.shard_load.begin());
+      cluster_shard[static_cast<std::size_t>(r)] = lightest;
+      plan.shard_load[static_cast<std::size_t>(lightest)] +=
+          cluster_load[static_cast<std::size_t>(r)];
+    }
+    std::vector<std::int32_t> assign(n, 0);
+    for (std::size_t vi = 0; vi < n; ++vi) {
+      assign[vi] = cluster_shard[static_cast<std::size_t>(
+          find_root(static_cast<std::int32_t>(vi)))];
+    }
+
+    // 4. Local refinement: a few Kernighan-Lin-style sweeps repair
+    // whatever the cluster granularity got wrong (a node whose volume
+    // mostly points out of its cluster, a cap-split community). Each node
+    // moves to the shard holding the most of its total contact volume
+    // (cap permitting); every move strictly increases the intra-shard
+    // weight, so the loop terminates, and the sweep limit is a safety
+    // bound. Node-id order and strict-improvement-only moves keep it
+    // deterministic.
+    std::vector<double> gain(k, 0.0);
+    bool moved = true;
+    for (int sweep = 0; sweep < 8 && moved; ++sweep) {
+      moved = false;
+      for (std::size_t vi = 0; vi < n; ++vi) {
+        std::fill(gain.begin(), gain.end(), 0.0);
+        for (std::size_t a = adj_start[vi]; a < adj_start[vi + 1]; ++a) {
+          const std::int32_t s = assign[static_cast<std::size_t>(adj[a].first)];
+          gain[static_cast<std::size_t>(s)] += adj[a].second;
+        }
+        const std::int32_t cur = assign[vi];
+        std::int32_t best = cur;
+        for (std::int32_t s = 0; s < plan.shard_count; ++s) {
+          if (s == cur) continue;
+          const std::size_t si = static_cast<std::size_t>(s);
+          if (plan.shard_load[si] + degree[vi] > cap) continue;
+          if (gain[si] > gain[static_cast<std::size_t>(best)]) best = s;
+        }
+        if (best != cur) {
+          plan.shard_load[static_cast<std::size_t>(cur)] -= degree[vi];
+          plan.shard_load[static_cast<std::size_t>(best)] += degree[vi];
+          assign[vi] = best;
+          moved = true;
+        }
+      }
+    }
+    plan.node_shard = std::move(assign);
+  }
+
+  // 5. Derived statistics: intra/cross split and the epoch bound (minimum
+  // gap between consecutive cross-shard contact start times).
+  Time prev_cross = kNever;
+  for (const ContactEvent& e : contacts) {
+    if (plan.cross(e)) {
+      ++plan.cross_contacts;
+      if (prev_cross != kNever) {
+        plan.epoch_bound = std::min(plan.epoch_bound, e.start - prev_cross);
+      }
+      prev_cross = e.start;
+    } else {
+      ++plan.intra_contacts;
+    }
+  }
+  return plan;
+}
+
+std::vector<std::vector<std::uint32_t>> shard_contact_feeds(
+    const ShardPlan& plan, const std::vector<ContactEvent>& contacts) {
+  std::vector<std::vector<std::uint32_t>> feeds(
+      static_cast<std::size_t>(plan.shard_count));
+  std::vector<std::size_t> counts(static_cast<std::size_t>(plan.shard_count),
+                                  0);
+  for (const ContactEvent& e : contacts) {
+    if (!plan.cross(e)) ++counts[static_cast<std::size_t>(plan.shard_of(e.a))];
+  }
+  for (std::size_t s = 0; s < feeds.size(); ++s) feeds[s].reserve(counts[s]);
+  for (std::size_t i = 0; i < contacts.size(); ++i) {
+    const ContactEvent& e = contacts[i];
+    if (plan.cross(e)) continue;
+    feeds[static_cast<std::size_t>(plan.shard_of(e.a))].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  return feeds;
+}
+
+}  // namespace dtn

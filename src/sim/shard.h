@@ -1,0 +1,77 @@
+// Node sharding for the bound-weave parallel engine (DESIGN.md §12).
+//
+// The contact trace induces a contact-frequency graph: nodes are trace
+// nodes, edge weights count how often a pair meets. A ShardPlan partitions
+// the nodes into K shards so that most contact volume stays inside a shard
+// (the parallel "bound" phase) and only the residual cross-shard contacts
+// must be applied serially at synchronization points (the "weave" phase).
+// Meeting-rate-driven contact processes make this split principled: the
+// minimum gap between successive cross-shard contacts bounds how far shards
+// can advance independently without reordering any interaction.
+//
+// The partitioner agglomerates nodes into cap-bounded clusters by merging
+// the heaviest edges first (union-find coarsening), packs the clusters
+// onto shards heaviest-first (LPT), then runs a few Kernighan-Lin-style
+// refinement sweeps — so communities coalesce before any weak cross edge
+// can scatter them, and loads stay balanced under a slack cap over the
+// even share. Everything here is deterministic — same
+// contacts, same K, same plan — and the plan depends only on the filtered
+// contact sequence, never on thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/contact_event.h"
+
+namespace dtn {
+
+/// A deterministic assignment of trace nodes to shards, plus the derived
+/// per-plan statistics the engine, benches and tests consume.
+struct ShardPlan {
+  int shard_count = 1;
+
+  /// node -> shard in [0, shard_count). Size = node_count.
+  std::vector<std::int32_t> node_shard;
+
+  /// Weighted contact degree placed on each shard (size = shard_count).
+  std::vector<double> shard_load;
+
+  /// Contacts whose endpoints share a shard (bound-phase work).
+  std::size_t intra_contacts = 0;
+
+  /// Contacts crossing shards (weave-phase work).
+  std::size_t cross_contacts = 0;
+
+  /// Minimum gap between the start times of consecutive cross-shard
+  /// contacts; kNever when fewer than two contacts cross shards. This is
+  /// the epoch bound: between two synchronization points separated by less
+  /// than this gap, no cross-shard interaction can occur.
+  Time epoch_bound = kNever;
+
+  std::int32_t shard_of(NodeId node) const {
+    return node_shard[static_cast<std::size_t>(node)];
+  }
+
+  /// True when the contact's endpoints live on different shards.
+  bool cross(const ContactEvent& e) const {
+    return shard_of(e.a) != shard_of(e.b);
+  }
+};
+
+/// Builds the degree-balanced greedy partition over the contact-frequency
+/// graph of `contacts` (already filtered: the engine drops missed/downtime
+/// contacts before planning). `shards` is clamped to >= 1; nodes never seen
+/// in a contact are spread across shards by load. Deterministic.
+ShardPlan build_shard_plan(const std::vector<ContactEvent>& contacts,
+                           NodeId node_count, int shards);
+
+/// Per-shard contact feeds: indices into `contacts` of each shard's
+/// intra-shard contacts, in trace order (cross-shard contacts belong to the
+/// weave and appear in no feed). Wrap a feed in
+/// traceio::SubsetContactCursor to stream one shard's slice of the trace.
+std::vector<std::vector<std::uint32_t>> shard_contact_feeds(
+    const ShardPlan& plan, const std::vector<ContactEvent>& contacts);
+
+}  // namespace dtn

@@ -1,0 +1,402 @@
+// The sharded bound-weave engine (DESIGN.md §12).
+//
+// A zsim-style two-phase schedule over the partition built by
+// build_shard_plan (sim/shard.h):
+//
+//  * Plan pass (serial, cheap): replay the serial engine's merge logic
+//    over contacts + workload + maintenance ticks without touching the
+//    scheme, assigning every event a global sequence number, drawing the
+//    failure-injection stream draw-for-draw, and routing each event as it
+//    is sequenced — bound work straight into its owning shard's feed,
+//    weave barriers into the serial barrier list, estimator-only
+//    cross-shard contacts into the deferred list. There is no
+//    intermediate timeline: the plan pass IS the distribution pass.
+//  * Bound phase (parallel): between barriers, each shard advances a
+//    persistent cursor through its own feed in sequence order on the
+//    thread pool — rate-estimator updates hit disjoint dense pair slots,
+//    node-local scheme hooks touch only their shard's nodes, and metric
+//    output is appended to a per-shard sequence-tagged log.
+//  * Weave phase (serial): at every barrier the shard logs are merged by
+//    sequence into the shared MetricsCollector (restoring the serial
+//    engine's exact floating-point fold order), deferred cross-shard
+//    estimator updates are applied, and the barrier event itself runs with
+//    the global services on the legacy RNG stream.
+//
+// Determinism contract: output is byte-identical to the serial engine for
+// every (shards, threads) combination. Schemes declaring kNodeLocal never
+// draw from the global stream during per-event hooks today (the flooding
+// family draws nothing); if one ever does, it draws from the owner node's
+// derive_seed stream, which is shard-count-invariant by construction.
+// Global schemes (NCL caching) have every scheme-visible event woven
+// serially on the exact legacy stream, so they too match bit-for-bit.
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "common/instrument.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "graph/contact_graph.h"
+#include "sim/engine.h"
+#include "sim/engine_detail.h"
+#include "sim/shard.h"
+
+namespace dtn {
+namespace {
+
+/// One bound-phase work unit in a shard's feed (or the deferred list):
+/// a contact or workload event this shard owns outright.
+struct BoundItem {
+  /// Global sequence number in exact serial processing order.
+  std::uint64_t seq = 0;
+  /// Index into the contact vector / workload event vector.
+  std::uint32_t index = 0;
+  /// Node whose derived RNG stream scheme hooks draw from (min endpoint
+  /// for contacts, the acting node for workload events).
+  NodeId owner = kNoNode;
+  bool is_contact = false;
+  /// Contacts only: inside the data-access phase (scheme.on_contact fires).
+  bool scheme_visible = false;
+};
+
+/// One weave barrier: executed serially with the global services after
+/// every bound item sequenced before it has been applied.
+struct WeaveItem {
+  enum class Kind : std::uint8_t { kMaintenance, kWorkload, kContact };
+  Kind kind = Kind::kMaintenance;
+  std::uint64_t seq = 0;
+  /// Feed entries emitted (across all shards) before this barrier: the
+  /// bound phase is skipped entirely when the epoch carried no work.
+  std::uint64_t bound_before = 0;
+  /// Deferred cross-shard estimator updates emitted before this barrier.
+  std::uint32_t deferred_before = 0;
+  /// Index into the contact vector / workload event vector.
+  std::uint32_t index = 0;
+  /// Maintenance only (contacts and workload events carry their own time).
+  Time time = 0.0;
+};
+
+}  // namespace
+
+RunResult run_simulation_sharded(const std::vector<ContactEvent>& contacts,
+                                 NodeId node_count, Time trace_end_hint,
+                                 const Workload& workload, Scheme& scheme,
+                                 const SimConfig& config) {
+  detail::validate_sim_config(config);
+  DTN_SCOPED_TIMER(kSimulation);
+  const std::size_t shard_count =
+      static_cast<std::size_t>(std::max(config.shards, 1));
+
+  RunResult result;
+  Rng rng(config.seed);  // the global weave stream == the serial engine's
+  Rng failure_rng(config.seed ^ 0xFA11FA11FA11FA11ULL);
+  const detail::DowntimeIndex downtime(config.node_downtime, node_count);
+  SimServices services(workload.registry(), rng, result.metrics);
+  result.metrics.set_data_count(workload.data_count());
+
+  RateEstimator estimator(std::max<NodeId>(node_count, 2), config.rate_decay);
+  const auto& work = workload.events();
+
+  // ---- plan pass ----------------------------------------------------------
+
+  // Failure injection, replicating the serial loop's dedicated stream
+  // draw-for-draw (one bernoulli per contact, in trace order). Dropped
+  // contacts still shape the timeline below — in the serial loop their
+  // start times participate in the merge that schedules maintenance ticks
+  // — but produce no work item.
+  // The pre-pass only runs when failures are actually configured; the
+  // common clean-trace case plans straight off the contacts, with the
+  // sortedness check and end-time tracking folded into the merge below.
+  const bool failures_possible =
+      config.contact_miss_prob > 0.0 || !config.node_downtime.empty();
+  std::vector<std::uint8_t> dropped(failures_possible ? contacts.size() : 0,
+                                    0);
+  bool any_dropped = false;
+  Time latest_contact_end = contacts.empty() ? 0.0 : contacts.front().end();
+  if (failures_possible) {
+    for (std::size_t i = 0; i < contacts.size(); ++i) {
+      const ContactEvent& e = contacts[i];
+      if (config.contact_miss_prob > 0.0 &&
+          failure_rng.bernoulli(config.contact_miss_prob)) {
+        dropped[i] = 1;
+        any_dropped = true;
+      } else if (downtime.down(e.a, e.start) || downtime.down(e.b, e.start)) {
+        dropped[i] = 1;
+        any_dropped = true;
+      }
+    }
+  }
+
+  // Partition over the surviving contact-frequency graph. The filtered
+  // copy is only materialized when failure injection actually dropped
+  // something; the common all-live case plans straight off the trace.
+  std::vector<ContactEvent> live;
+  if (any_dropped) {
+    live.reserve(contacts.size());
+    for (std::size_t i = 0; i < contacts.size(); ++i) {
+      if (dropped[i] == 0) live.push_back(contacts[i]);
+    }
+  }
+  const std::vector<ContactEvent>& planned = any_dropped ? live : contacts;
+  const ShardPlan plan = build_shard_plan(planned, node_count,
+                                          static_cast<int>(shard_count));
+
+  const bool node_local =
+      scheme.concurrency() == SchemeConcurrency::kNodeLocal;
+
+  // Merge contacts + workload + maintenance with global sequence numbers,
+  // replicating the serial merge exactly (due maintenance ticks fire
+  // before the next event, workload beats contacts at equal times), and
+  // route every event to its destination as it is sequenced.
+  std::vector<std::vector<BoundItem>> feeds(shard_count);
+  for (auto& f : feeds) f.reserve(planned.size() / shard_count + 64);
+  std::vector<BoundItem> deferred;
+  std::vector<WeaveItem> weave;
+  std::uint64_t bound_emitted = 0;
+  const Time phase_start = work.empty() ? trace_end_hint : work.front().time;
+  {
+    Time next_maintenance = phase_start;
+    bool started = false;
+    std::uint64_t seq = 0;
+    std::size_t ci = 0;
+    std::size_t wi = 0;
+    const auto emit_weave = [&](WeaveItem::Kind kind, std::uint32_t index,
+                                Time t) {
+      WeaveItem it;
+      it.kind = kind;
+      it.seq = seq++;
+      it.bound_before = bound_emitted;
+      it.deferred_before = static_cast<std::uint32_t>(deferred.size());
+      it.index = index;
+      it.time = t;
+      weave.push_back(it);
+    };
+    Time prev_start = contacts.empty() ? 0.0 : contacts.front().start;
+    while (ci < contacts.size() || wi < work.size()) {
+      const Time t_contact = ci < contacts.size() ? contacts[ci].start : kNever;
+      const Time t_work = wi < work.size() ? work[wi].time : kNever;
+      const Time t_next = std::min(t_contact, t_work);
+      while (next_maintenance <= t_next && next_maintenance != kNever) {
+        emit_weave(WeaveItem::Kind::kMaintenance, 0, next_maintenance);
+        started = true;
+        next_maintenance += config.maintenance_interval;
+      }
+      if (t_work <= t_contact) {
+        const WorkloadEvent& w = work[wi];
+        if (!node_local) {
+          emit_weave(WeaveItem::Kind::kWorkload,
+                     static_cast<std::uint32_t>(wi), w.time);
+        } else {
+          BoundItem it;
+          it.seq = seq++;
+          it.index = static_cast<std::uint32_t>(wi);
+          it.owner = w.kind == WorkloadEvent::Kind::kDataGenerated
+                         ? workload.registry().get(w.data).source
+                         : w.query.requester;
+          feeds[static_cast<std::size_t>(plan.shard_of(it.owner))].push_back(
+              it);
+          ++bound_emitted;
+        }
+        ++wi;
+        continue;
+      }
+      // Contacts run back-to-back until the next workload event or
+      // maintenance tick (both rare); consume the whole run in one tight
+      // loop instead of re-testing the merge boundaries per contact. A
+      // contact AT the boundary exits the run: equal-time workload events
+      // and due maintenance both precede it in the serial order.
+      const Time boundary = std::min(t_work, next_maintenance);
+      while (ci < contacts.size() && contacts[ci].start < boundary) {
+        const bool skip = failures_possible && dropped[ci] != 0;
+        const ContactEvent& e = contacts[ci];
+        ++ci;
+        // Cursor contract: contacts arrive in start-time order.
+        DTN_CHECK_GE(e.start, prev_start);
+        prev_start = e.start;
+        latest_contact_end = std::max(latest_contact_end, e.end());
+        if (skip) continue;
+        const bool scheme_visible = e.start >= phase_start && started;
+        const bool cross = plan.cross(e);
+        if (scheme_visible) {
+          ++result.contacts_processed;
+          if (cross) {
+            DTN_COUNT(kShardCrossContacts);
+          } else {
+            DTN_COUNT(kShardIntraContacts);
+          }
+        }
+        if (scheme_visible && (cross || !node_local)) {
+          emit_weave(WeaveItem::Kind::kContact,
+                     static_cast<std::uint32_t>(ci - 1), e.start);
+        } else if (cross) {
+          // Estimator-only cross-shard contact: no shard owns its pair
+          // slot, so it applies serially at the next flush — still in
+          // sequence order (nothing reads pair state between barriers, so
+          // deferral is order-preserving per pair).
+          BoundItem it;
+          it.seq = seq++;
+          it.index = static_cast<std::uint32_t>(ci - 1);
+          deferred.push_back(it);
+        } else {
+          BoundItem it;
+          it.seq = seq++;
+          it.index = static_cast<std::uint32_t>(ci - 1);
+          it.owner = std::min(e.a, e.b);
+          it.is_contact = true;
+          it.scheme_visible = scheme_visible;
+          feeds[static_cast<std::size_t>(plan.shard_of(e.a))].push_back(it);
+          ++bound_emitted;
+        }
+      }
+    }
+  }
+
+  // ---- execution ----------------------------------------------------------
+
+  // Per-node derived RNG streams for bound-phase scheme draws: stream
+  // identity is the node, never the shard, so consumption is invariant
+  // under repartitioning.
+  std::vector<Rng> node_rng;
+  const std::size_t rng_nodes =
+      static_cast<std::size_t>(std::max<NodeId>(node_count, 1));
+  node_rng.reserve(rng_nodes);
+  for (std::size_t nid = 0; nid < rng_nodes; ++nid) {
+    node_rng.emplace_back(
+        derive_seed(config.seed, static_cast<std::uint64_t>(nid)));
+  }
+
+  std::vector<MetricEventLog> shard_logs(shard_count);
+  std::vector<SimServices> shard_services;
+  shard_services.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shard_services.emplace_back(workload.registry(), rng, result.metrics);
+    shard_services.back().set_event_log(&shard_logs[s]);
+    // The maintenance-built tables live in the global services; shards
+    // share them read-only through the view.
+    shard_services.back().set_paths_view(&services.paths());
+  }
+
+  bool started = false;
+  auto run_maintenance = [&](Time now) {
+    DTN_SCOPED_TIMER(kMaintenance);
+    DTN_COUNT(kMaintenanceTicks);
+    services.set_now(now);
+    services.set_paths(AllPairsPaths(
+        estimator.snapshot(now, config.min_contacts_for_rate),
+        config.path_horizon, config.max_hops, config.threads,
+        config.path_engine));
+    if (!started) {
+      scheme.on_start(services);
+      started = true;
+    }
+    scheme.on_maintenance(services);
+    const std::size_t alive = workload.registry().alive_count(now);
+    if (alive > 0) {
+      result.metrics.sample_copy_count(
+          static_cast<double>(scheme.cached_copies(now)) /
+          static_cast<double>(alive));
+    }
+    ++result.maintenance_ticks;
+  };
+
+  // One bound phase + weave: every shard advances its feed cursor through
+  // the items sequenced before the barrier on the pool, deferred
+  // cross-shard estimator updates are applied, then the serial metric
+  // order is restored by replaying the shard logs in sequence order.
+  std::vector<std::size_t> cursor(shard_count, 0);
+  std::uint64_t bound_done = 0;
+  std::size_t deferred_done = 0;
+  auto bound_and_weave = [&](std::uint64_t barrier_seq,
+                             std::uint64_t bound_before,
+                             std::size_t deferred_before) {
+    if (bound_done < bound_before) {
+      DTN_COUNT(kShardEpochs);
+      parallel_for(config.threads, shard_count, [&](std::size_t s) {
+        SimServices& svc = shard_services[s];
+        const std::vector<BoundItem>& feed = feeds[s];
+        std::size_t& cur = cursor[s];
+        while (cur < feed.size() && feed[cur].seq < barrier_seq) {
+          const BoundItem& it = feed[cur];
+          ++cur;
+          if (it.is_contact) {
+            const ContactEvent& e = contacts[it.index];
+            estimator.record_contact(e.a, e.b, e.start);
+            if (it.scheme_visible) {
+              DTN_SCOPED_TIMER(kContacts);
+              DTN_COUNT(kContactsProcessed);
+              svc.set_now(e.start);
+              svc.set_event_seq(it.seq);
+              svc.set_rng(&node_rng[static_cast<std::size_t>(it.owner)]);
+              LinkBudget budget(static_cast<Bytes>(
+                  e.duration *
+                  static_cast<double>(config.bandwidth_per_second)));
+              scheme.on_contact(svc, e.a, e.b, budget);
+            }
+          } else {
+            const WorkloadEvent& w = work[it.index];
+            svc.set_now(w.time);
+            svc.set_event_seq(it.seq);
+            svc.set_rng(&node_rng[static_cast<std::size_t>(it.owner)]);
+            if (w.kind == WorkloadEvent::Kind::kDataGenerated) {
+              scheme.on_data_generated(svc, workload.registry().get(w.data));
+            } else {
+              shard_logs[s].query_issued(it.seq, w.query);
+              scheme.on_query(svc, w.query);
+            }
+          }
+        }
+      });
+      bound_done = bound_before;
+    }
+    while (deferred_done < deferred_before) {
+      const ContactEvent& e = contacts[deferred[deferred_done].index];
+      ++deferred_done;
+      estimator.record_contact(e.a, e.b, e.start);
+    }
+    MetricEventLog::replay_into(shard_logs, result.metrics);
+  };
+
+  for (const WeaveItem& it : weave) {
+    bound_and_weave(it.seq, it.bound_before, it.deferred_before);
+    switch (it.kind) {
+      case WeaveItem::Kind::kMaintenance:
+        run_maintenance(it.time);
+        break;
+      case WeaveItem::Kind::kWorkload: {
+        const WorkloadEvent& w = work[it.index];
+        services.set_now(w.time);
+        if (w.kind == WorkloadEvent::Kind::kDataGenerated) {
+          scheme.on_data_generated(services, workload.registry().get(w.data));
+        } else {
+          result.metrics.on_query_issued(w.query);
+          scheme.on_query(services, w.query);
+        }
+        break;
+      }
+      case WeaveItem::Kind::kContact: {
+        const ContactEvent& e = contacts[it.index];
+        estimator.record_contact(e.a, e.b, e.start);
+        DTN_SCOPED_TIMER(kContacts);
+        DTN_COUNT(kContactsProcessed);
+        services.set_now(e.start);
+        LinkBudget budget(static_cast<Bytes>(
+            e.duration * static_cast<double>(config.bandwidth_per_second)));
+        scheme.on_contact(services, e.a, e.b, budget);
+        break;
+      }
+    }
+  }
+  bound_and_weave(std::numeric_limits<std::uint64_t>::max(), bound_emitted,
+                  deferred.size());
+
+  // Final sampling instant, identical to the serial engine.
+  const Time end_time =
+      std::max({trace_end_hint, latest_contact_end, phase_start});
+  services.set_now(end_time);
+  scheme.on_end(services);
+  return result;
+}
+
+}  // namespace dtn

@@ -1,0 +1,339 @@
+// Sharded bound-weave engine suite (sim/shard.h, sim/shard_engine.cpp,
+// DESIGN.md §12).
+//
+// The headline contract is byte-identical output: for every scheme, every
+// shard count and every thread count, the sharded engine must reproduce the
+// serial engine's results bit-for-bit — metrics, RNG-dependent decisions,
+// floating-point fold order included. The suite pins that contract from
+// three directions: partitioner invariants (every node in exactly one
+// shard, every contact owned exactly once, epoch bound correct), direct
+// engine-vs-engine runs (clean, failure-injected, cursor-fed), and the
+// user-facing sweep CSV across a {shards} x {threads} matrix — the same
+// byte-identity check CI runs as a cross-machine artifact diff.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/cache_data.h"
+#include "experiment/experiment.h"
+#include "experiment/sweep.h"
+#include "sim/engine.h"
+#include "sim/shard.h"
+#include "trace/synthetic.h"
+#include "traceio/cursor.h"
+#include "workload/workload.h"
+
+namespace dtn {
+namespace {
+
+ContactTrace small_trace() {
+  SyntheticTraceConfig c;
+  c.node_count = 16;
+  c.duration = days(8);
+  c.target_total_contacts = 3000;
+  c.community_count = 4;  // communities give the partitioner real structure
+  c.seed = 3;
+  return generate_trace(c);
+}
+
+Workload small_workload(const ContactTrace& trace) {
+  WorkloadConfig c;
+  c.start = trace.start_time() + trace.duration() / 2.0;
+  c.end = trace.end_time();
+  c.avg_lifetime = hours(12);
+  c.avg_size = megabits(20);
+  c.seed = 99;
+  return generate_workload(c, trace.node_count());
+}
+
+std::unique_ptr<Scheme> fresh_scheme(NodeId node_count) {
+  FloodingConfig c;
+  c.buffer_capacity.assign(static_cast<std::size_t>(node_count),
+                           megabits(400));
+  return std::make_unique<CacheDataScheme>(std::move(c));
+}
+
+SimConfig base_sim() {
+  SimConfig sim;
+  sim.path_horizon = hours(6);
+  sim.maintenance_interval = hours(12);
+  sim.seed = 7;
+  return sim;
+}
+
+void expect_metrics_equal(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.contacts_processed, b.contacts_processed);
+  EXPECT_EQ(a.maintenance_ticks, b.maintenance_ticks);
+  const MetricsCollector& ma = a.metrics;
+  const MetricsCollector& mb = b.metrics;
+  EXPECT_EQ(ma.queries_issued(), mb.queries_issued());
+  EXPECT_EQ(ma.queries_satisfied(), mb.queries_satisfied());
+  EXPECT_EQ(ma.duplicate_deliveries(), mb.duplicate_deliveries());
+  EXPECT_EQ(ma.success_ratio(), mb.success_ratio());
+  EXPECT_EQ(ma.delay_stats().count(), mb.delay_stats().count());
+  EXPECT_EQ(ma.delay_stats().mean(), mb.delay_stats().mean());
+  EXPECT_EQ(ma.delay_stats().variance(), mb.delay_stats().variance());
+  EXPECT_EQ(ma.delay_stats().min(), mb.delay_stats().min());
+  EXPECT_EQ(ma.delay_stats().max(), mb.delay_stats().max());
+  EXPECT_EQ(ma.delay_percentile(0.5), mb.delay_percentile(0.5));
+  EXPECT_EQ(ma.delay_percentile(0.9), mb.delay_percentile(0.9));
+  EXPECT_EQ(ma.mean_copies(), mb.mean_copies());
+  EXPECT_EQ(ma.bytes_transferred(), mb.bytes_transferred());
+  EXPECT_EQ(ma.replacement_overhead(), mb.replacement_overhead());
+}
+
+void expect_stats_equal(const RunningStats& a, const RunningStats& b) {
+  ASSERT_EQ(a.count(), b.count());
+  ASSERT_EQ(a.mean(), b.mean());
+  ASSERT_EQ(a.variance(), b.variance());
+  ASSERT_EQ(a.min(), b.min());
+  ASSERT_EQ(a.max(), b.max());
+}
+
+void expect_results_equal(const ExperimentResult& a,
+                          const ExperimentResult& b) {
+  EXPECT_EQ(a.scheme, b.scheme);
+  expect_stats_equal(a.success_ratio, b.success_ratio);
+  expect_stats_equal(a.delay_hours, b.delay_hours);
+  expect_stats_equal(a.copies_per_item, b.copies_per_item);
+  expect_stats_equal(a.replacement_overhead, b.replacement_overhead);
+  expect_stats_equal(a.queries_issued, b.queries_issued);
+  expect_stats_equal(a.queries_satisfied, b.queries_satisfied);
+  expect_stats_equal(a.gigabytes_transferred, b.gigabytes_transferred);
+  expect_stats_equal(a.duplicate_deliveries, b.duplicate_deliveries);
+}
+
+// ---- partitioner invariants -----------------------------------------------
+
+TEST(Shard, PlanAssignsEveryNodeToExactlyOneShard) {
+  const ContactTrace trace = small_trace();
+  for (const int k : {1, 2, 4, 8}) {
+    const ShardPlan plan =
+        build_shard_plan(trace.events(), trace.node_count(), k);
+    EXPECT_EQ(plan.shard_count, k);
+    ASSERT_EQ(plan.node_shard.size(),
+              static_cast<std::size_t>(trace.node_count()));
+    for (const std::int32_t s : plan.node_shard) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, k);
+    }
+    EXPECT_EQ(plan.intra_contacts + plan.cross_contacts,
+              trace.events().size());
+  }
+}
+
+TEST(Shard, SingleShardPlanHasNoCrossContacts) {
+  const ContactTrace trace = small_trace();
+  const ShardPlan plan = build_shard_plan(trace.events(), trace.node_count(), 1);
+  EXPECT_EQ(plan.cross_contacts, 0u);
+  EXPECT_EQ(plan.intra_contacts, trace.events().size());
+  EXPECT_EQ(plan.epoch_bound, kNever);
+  for (const std::int32_t s : plan.node_shard) EXPECT_EQ(s, 0);
+}
+
+TEST(Shard, FeedsPartitionTheIntraShardContacts) {
+  const ContactTrace trace = small_trace();
+  const auto& events = trace.events();
+  const ShardPlan plan = build_shard_plan(events, trace.node_count(), 4);
+  const auto feeds = shard_contact_feeds(plan, events);
+  ASSERT_EQ(feeds.size(), 4u);
+
+  std::vector<std::uint32_t> all;
+  for (std::size_t s = 0; s < feeds.size(); ++s) {
+    EXPECT_TRUE(std::is_sorted(feeds[s].begin(), feeds[s].end()));
+    for (const std::uint32_t idx : feeds[s]) {
+      const ContactEvent& e = events[idx];
+      EXPECT_FALSE(plan.cross(e));
+      EXPECT_EQ(plan.shard_of(e.a), static_cast<std::int32_t>(s));
+      all.push_back(idx);
+    }
+  }
+  // Exactly the intra contacts, each owned once.
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all.size(), plan.intra_contacts);
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+}
+
+TEST(Shard, EpochBoundIsTheMinimumCrossContactGap) {
+  const ContactTrace trace = small_trace();
+  const auto& events = trace.events();
+  const ShardPlan plan = build_shard_plan(events, trace.node_count(), 4);
+
+  Time brute = kNever;
+  Time prev = kNever;
+  for (const ContactEvent& e : events) {
+    if (!plan.cross(e)) continue;
+    if (prev != kNever) brute = std::min(brute, e.start - prev);
+    prev = e.start;
+  }
+  EXPECT_EQ(plan.epoch_bound, brute);
+  if (plan.cross_contacts >= 2) {
+    EXPECT_GE(plan.epoch_bound, 0.0);
+  }
+}
+
+TEST(Shard, SubsetCursorReplaysAFeedInOrder) {
+  const ContactTrace trace = small_trace();
+  const auto& events = trace.events();
+  const ShardPlan plan = build_shard_plan(events, trace.node_count(), 4);
+  const auto feeds = shard_contact_feeds(plan, events);
+
+  for (std::size_t s = 0; s < feeds.size(); ++s) {
+    traceio::SubsetContactCursor cursor(events, feeds[s]);
+    ContactEvent e;
+    std::size_t count = 0;
+    Time prev_start = -1.0;
+    while (cursor.next(e)) {
+      EXPECT_EQ(e.a, events[feeds[s][count]].a);
+      EXPECT_EQ(e.start, events[feeds[s][count]].start);
+      EXPECT_GE(e.start, prev_start);
+      prev_start = e.start;
+      ++count;
+    }
+    EXPECT_EQ(count, feeds[s].size());
+  }
+}
+
+TEST(Shard, RejectsNonPositiveShardCount) {
+  const ContactTrace trace = small_trace();
+  const Workload workload = small_workload(trace);
+  auto scheme = fresh_scheme(trace.node_count());
+  SimConfig sim = base_sim();
+  sim.shards = 0;
+  EXPECT_THROW(run_simulation(trace, workload, *scheme, sim),
+               std::invalid_argument);
+}
+
+// ---- engine-vs-engine determinism ----------------------------------------
+
+TEST(ShardDeterminism, ShardedMatchesSerialEngineDirectly) {
+  const ContactTrace trace = small_trace();
+  const Workload workload = small_workload(trace);
+
+  SimConfig serial = base_sim();
+  serial.shards = 1;
+  serial.threads = 1;
+  auto scheme_serial = fresh_scheme(trace.node_count());
+  const RunResult ref = run_simulation(trace, workload, *scheme_serial, serial);
+
+  for (const int shards : {1, 2, 4, 8}) {
+    for (const int threads : {1, 8}) {
+      SimConfig sim = base_sim();
+      sim.shards = shards;
+      sim.threads = threads;
+      auto scheme = fresh_scheme(trace.node_count());
+      // Call the sharded engine directly so shards == 1 also exercises the
+      // bound-weave machinery instead of the dispatch short-circuit.
+      const RunResult got = run_simulation_sharded(
+          trace.events(), trace.node_count(), trace.end_time(), workload,
+          *scheme, sim);
+      expect_metrics_equal(got, ref);
+    }
+  }
+}
+
+TEST(ShardDeterminism, ShardedMatchesSerialUnderFailureInjection) {
+  const ContactTrace trace = small_trace();
+  const Workload workload = small_workload(trace);
+
+  SimConfig serial = base_sim();
+  serial.contact_miss_prob = 0.15;
+  serial.node_downtime = random_downtimes(trace.node_count(), trace.duration(),
+                                          /*failures_per_node=*/1.5,
+                                          /*mean_outage=*/hours(8),
+                                          /*seed=*/11);
+  serial.shards = 1;
+  serial.threads = 1;
+  auto scheme_serial = fresh_scheme(trace.node_count());
+  const RunResult ref = run_simulation(trace, workload, *scheme_serial, serial);
+
+  SimConfig sharded = serial;
+  sharded.shards = 4;
+  sharded.threads = 8;
+  auto scheme = fresh_scheme(trace.node_count());
+  const RunResult got = run_simulation(trace, workload, *scheme, sharded);
+  expect_metrics_equal(got, ref);
+}
+
+TEST(ShardDeterminism, CursorOverloadDispatchesToShardedEngine) {
+  const ContactTrace trace = small_trace();
+  const Workload workload = small_workload(trace);
+
+  SimConfig serial = base_sim();
+  serial.shards = 1;
+  auto scheme_serial = fresh_scheme(trace.node_count());
+  const RunResult ref = run_simulation(trace, workload, *scheme_serial, serial);
+
+  SimConfig sharded = base_sim();
+  sharded.shards = 4;
+  sharded.threads = 8;
+  auto scheme = fresh_scheme(trace.node_count());
+  traceio::VectorContactCursor cursor(trace.events());
+  const RunResult got =
+      run_simulation(cursor, trace.node_count(), trace.end_time(), workload,
+                     *scheme, sharded);
+  expect_metrics_equal(got, ref);
+}
+
+TEST(ShardDeterminism, EverySchemeMatchesAcrossShardCounts) {
+  const ContactTrace trace = small_trace();
+
+  ExperimentConfig config;
+  config.avg_lifetime = days(1);
+  config.avg_data_size = megabits(40);
+  config.ncl_count = 2;
+  config.repetitions = 1;
+  config.auto_horizon = false;
+  config.sim.path_horizon = hours(6);
+  config.sim.maintenance_interval = hours(12);
+
+  const SchemeKind kinds[] = {SchemeKind::kNclCache, SchemeKind::kNoCache,
+                              SchemeKind::kRandomCache, SchemeKind::kCacheData,
+                              SchemeKind::kBundleCache};
+  for (const SchemeKind kind : kinds) {
+    config.sim.shards = 1;
+    config.sim.threads = 1;
+    const ExperimentResult ref = run_experiment(trace, kind, config);
+    config.sim.shards = 3;
+    config.sim.threads = 8;
+    const ExperimentResult got = run_experiment(trace, kind, config);
+    expect_results_equal(got, ref);
+  }
+}
+
+TEST(ShardDeterminism, SweepCsvIsByteIdenticalAcrossShardMatrix) {
+  const ContactTrace trace = small_trace();
+
+  SweepConfig base;
+  base.base.avg_lifetime = days(1);
+  base.base.avg_data_size = megabits(40);
+  base.base.ncl_count = 2;
+  base.base.repetitions = 2;
+  base.base.auto_horizon = false;
+  base.base.sim.path_horizon = hours(6);
+  base.base.sim.maintenance_interval = hours(12);
+  base.schemes = {SchemeKind::kNclCache, SchemeKind::kCacheData};
+  base.lifetimes = {hours(12)};
+  base.ncl_counts = {2};
+  base.threads = 1;
+  base.base.sim.shards = 1;
+
+  const std::string reference = sweep_to_csv(run_sweep(trace, base));
+
+  for (const int shards : {2, 4, 8}) {
+    for (const int threads : {1, 8}) {
+      SweepConfig config = base;
+      config.base.sim.shards = shards;
+      config.base.sim.threads = threads;
+      const std::string csv = sweep_to_csv(run_sweep(trace, config));
+      EXPECT_EQ(csv, reference) << "shards=" << shards
+                                << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtn

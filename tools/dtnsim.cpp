@@ -50,6 +50,7 @@ struct CliOptions {
   bool csv = false;
   bool stats = false;
   int threads = 0;
+  int shards = 1;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -79,7 +80,10 @@ struct CliOptions {
       "  --stats          print stage timers and domain counters to stderr\n"
       "                   after the run (no-op in DTN_INSTRUMENT=OFF builds)\n"
       "  --threads T      worker threads (0 = all cores, 1 = serial);\n"
-      "                   results are identical for every value\n",
+      "                   results are identical for every value\n"
+      "  --shards K       event-loop shards for the bound-weave engine\n"
+      "                   (default 1 = classic serial loop); results are\n"
+      "                   identical for every value\n",
       argv0);
   std::exit(2);
 }
@@ -138,6 +142,12 @@ CliOptions parse(int argc, char** argv) {
       options.threads = std::atoi(next_value(i));
       if (options.threads < 0) {
         std::fprintf(stderr, "--threads must be >= 0 (0 = all cores)\n");
+        std::exit(2);
+      }
+    } else if (flag == "--shards") {
+      options.shards = std::atoi(next_value(i));
+      if (options.shards < 1) {
+        std::fprintf(stderr, "--shards must be >= 1\n");
         std::exit(2);
       }
     } else if (flag == "--csv") {
@@ -244,6 +254,7 @@ int main(int argc, char** argv) {
       std::max(hours(1), config.avg_lifetime / 7.0);
   config.sim.contact_miss_prob = options.miss_prob;
   config.sim.threads = options.threads;
+  config.sim.shards = options.shards;
 
   if (options.response == "pathweight") {
     config.response_mode = ResponseMode::kPathWeight;
