@@ -42,6 +42,12 @@ constexpr std::array<const char*, kCounterCount> kCounterNames = {
     "shard_epochs",
     "shard_cross_contacts",
     "shard_intra_contacts",
+    "daemon_contacts_ingested",
+    "daemon_edge_updates",
+    "daemon_roots_repaired",
+    "daemon_snapshots_published",
+    "daemon_audit_rebuilds",
+    "daemon_queries",
 };
 
 constexpr std::array<const char*, kTimerCount> kTimerNames = {
@@ -57,6 +63,7 @@ constexpr std::array<const char*, kTimerCount> kTimerNames = {
     "experiment",
     "sweep",
     "trace_load",
+    "daemon_repair",
 };
 
 struct Registry {

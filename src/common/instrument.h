@@ -68,6 +68,12 @@ enum class Counter : int {
   kShardEpochs,                 ///< bound-weave epochs (parallel flushes)
   kShardCrossContacts,          ///< scheme-visible contacts spanning shards
   kShardIntraContacts,          ///< scheme-visible contacts within one shard
+  kDaemonContactsIngested,      ///< contacts fed into the daemon estimator
+  kDaemonEdgeUpdates,           ///< drifted edge rates applied to the graph
+  kDaemonRootsRepaired,         ///< path tables rebuilt by incremental repair
+  kDaemonSnapshotsPublished,    ///< read-snapshot swaps (epoch increments)
+  kDaemonAuditRebuilds,         ///< audit-mode full kReference rebuilds
+  kDaemonQueries,               ///< daemon queries answered from a snapshot
   kCount
 };
 
@@ -85,6 +91,7 @@ enum class Timer : int {
   kExperiment,        ///< run_experiment, end to end
   kSweep,             ///< run_sweep over the whole grid
   kTraceLoad,         ///< load_trace_any, end to end (parse or cache load)
+  kDaemonRepair,      ///< one daemon repair batch (drift scan -> publish)
   kCount
 };
 

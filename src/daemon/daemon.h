@@ -1,0 +1,225 @@
+// dtnd core: a long-running serving daemon over a live contact stream.
+//
+// Everything else in this tree is batch: load a trace, build all-pairs
+// Eq. 3 tables once, run, exit. The Daemon has a *lifetime*: it ingests
+// contacts one at a time (traceio::ContactCursor is the natural feed),
+// maintains per-pair meeting-rate estimates online (EwmaRateEstimator),
+// and keeps the path tables continuously correct through **incremental
+// repair** — when an edge's estimated rate drifts past a configurable
+// relative threshold, only the roots whose trees that edge can affect are
+// re-run through single-root Dijkstra, instead of rebuilding all pairs.
+//
+// Repair soundness (DESIGN.md §13 has the full argument): a path-weight
+// candidate is strictly increasing in every chain rate, so
+//   * a rate DECREASE can only change tables whose tree uses the edge —
+//     every candidate through the edge got strictly worse, so relaxations
+//     that lost before still lose. The reverse EdgeRootsIndex enumerates
+//     exactly those roots.
+//   * a rate INCREASE (or a brand-new edge) can additionally pull the edge
+//     into a tree, but only by one of its endpoints adopting it as the
+//     final hop — and the first adoption relaxes from a chain that avoids
+//     the edge, i.e. the endpoint's unchanged current chain. Re-evaluating
+//     that one-step candidate against the endpoint's current weight is
+//     therefore a sound stale-root detector (>= flags conservatively).
+// Repaired roots re-run the exact kFast single-root construction a full
+// rebuild would run, so repaired tables are bit-identical to a rebuild;
+// with `audit` on, every repair batch is DTN_CHECKed for settled-weight
+// equality against a fresh PathEngine::kReference all-pairs build.
+//
+// Concurrency: ONE writer thread calls warm_start/ingest/repair_now; any
+// number of reader threads call snapshot()/ncl_set()/path_weight()/
+// placement_for() concurrently. Readers never block the update path —
+// queries run against an immutable Snapshot behind a shared_ptr that the
+// writer swaps under a short mutex (double-buffer publish; the mutex
+// guards only the pointer copy, never any computation). Every answer
+// carries the epoch it was computed at plus its staleness: the trace-time
+// lag between the latest ingested contact and the last drift reconcile.
+// The dtnlint rule `daemon-snapshot-guard` statically enforces that
+// `shared_`-prefixed daemon state is only touched under a guard or through
+// atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+#include "daemon/edge_index.h"
+#include "daemon/rate_estimator.h"
+#include "graph/all_pairs.h"
+#include "graph/contact_graph.h"
+#include "trace/contact_event.h"
+#include "trace/trace.h"
+
+namespace dtn::daemon {
+
+struct DaemonConfig {
+  /// Path-weight horizon T (Eq. 2/3) the tables are built at.
+  Time horizon = hours(1.0);
+  int max_hops = 8;
+
+  /// EWMA inter-contact estimator knobs (rate_estimator.h).
+  double ewma_alpha = 0.125;
+  std::uint32_t min_contacts = 2;
+
+  /// Relative rate drift |est - current| / current that marks an edge
+  /// stale. Smaller = tighter tables, more repair work.
+  double drift_threshold = 0.2;
+
+  /// Trace-time batch boundary: drifted edges are reconciled (and a new
+  /// snapshot published if anything changed) every `repair_interval`
+  /// seconds of stream time.
+  Time repair_interval = hours(1.0);
+
+  /// Repair parallelism (0 = hardware, 1 = serial). Repaired tables are
+  /// written into per-root slots, so results are bit-identical for every
+  /// value — the daemon_test determinism suite pins this.
+  int threads = 1;
+
+  /// Audit mode: after every repair batch, build a fresh
+  /// PathEngine::kReference all-pairs table set and DTN_CHECK settled-
+  /// weight equality plus NCL-set equality (at audit_ncl_k).
+  bool audit = false;
+  int audit_ncl_k = 5;
+};
+
+/// Immutable published state. Readers hold it via shared_ptr; the writer
+/// never mutates a published snapshot.
+struct Snapshot {
+  std::uint64_t epoch = 0;       ///< 0 = empty pre-warm-start snapshot
+  Time published_at = 0.0;       ///< stream time of the publishing batch
+  ContactGraph graph;            ///< thresholded working graph
+  std::vector<PathTable> tables; ///< one per root; empty at epoch 0
+  std::vector<double> metric;    ///< Eq. 3 NCL metric per node
+
+  bool ready() const { return !tables.empty(); }
+};
+
+/// Epoch + staleness stamp attached to every answer.
+struct QueryInfo {
+  std::uint64_t epoch = 0;
+  /// Trace-time lag between the newest ingested contact and the last
+  /// drift reconcile: how much stream the answer has not seen.
+  Time staleness = 0.0;
+};
+
+struct NclAnswer {
+  QueryInfo info;
+  std::vector<NodeId> central;  ///< metric-descending, id tie-break
+};
+
+struct WeightAnswer {
+  QueryInfo info;
+  double weight = 0.0;  ///< opportunistic path weight at the query budget
+};
+
+struct PlacementAnswer {
+  QueryInfo info;
+  /// Caching locations for content originating at `source`: the current
+  /// NCL set ranked by path weight from the source (best first).
+  std::vector<NodeId> ranked;
+  std::vector<double> weights;  ///< parallel to `ranked`
+};
+
+class Daemon {
+ public:
+  Daemon(NodeId node_count, DaemonConfig config);
+
+  const DaemonConfig& config() const { return config_; }
+  NodeId node_count() const { return estimator_.node_count(); }
+
+  // ---- writer API (single ingest thread) -------------------------------
+
+  /// Batch warm start: folds the whole trace into the estimator, builds
+  /// the initial graph and full all-pairs tables, publishes epoch 1.
+  void warm_start(const ContactTrace& trace);
+
+  /// Feeds one contact. Contacts must arrive in non-decreasing start
+  /// order; crossing a repair_interval boundary triggers a repair batch
+  /// before the event is folded in.
+  void ingest(const ContactEvent& event);
+
+  /// Forces a repair batch at the current watermark.
+  void repair_now();
+
+  /// Stream time of the newest ingested contact (writer-thread accessor;
+  /// readers stamp answers through QueryInfo instead).
+  Time watermark() const { return watermark_; }
+
+  /// Writer-side counters for reporting (not thread-safe to read while
+  /// ingesting from another thread; the query path never touches them).
+  struct Stats {
+    std::uint64_t contacts_ingested = 0;
+    std::uint64_t repair_batches = 0;
+    std::uint64_t edge_updates = 0;
+    std::uint64_t roots_repaired = 0;
+    std::uint64_t full_rebuilds = 0;   ///< warm start + first-build batches
+    std::uint64_t audit_rebuilds = 0;
+    std::uint64_t snapshots_published = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // ---- reader API (any thread) -----------------------------------------
+
+  /// Current published snapshot (never null; epoch 0 before warm start).
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// Top-k central nodes by the Eq. 3 metric of the current snapshot.
+  NclAnswer ncl_set(int k) const;
+
+  /// Opportunistic path weight src -> dst re-evaluated at `budget`
+  /// (AllPairsPaths::weight_at semantics). 0 when unreachable or before
+  /// the first publish.
+  WeightAnswer path_weight(NodeId src, NodeId dst, Time budget) const;
+
+  /// Cache placement for content originating at `source`: the top-k NCL
+  /// set ranked by path weight from the source.
+  PlacementAnswer placement_for(NodeId source, int k) const;
+
+ private:
+  struct EdgeChange {
+    NodeId u = kNoNode;
+    NodeId v = kNoNode;
+    double old_rate = 0.0;
+    double new_rate = 0.0;
+  };
+
+  void publish(std::shared_ptr<const Snapshot> next);
+  QueryInfo query_info(const Snapshot& snap) const;
+
+  /// Drift scan -> affected roots -> single-root re-runs -> publish.
+  void repair(Time batch_time);
+  std::vector<EdgeChange> collect_drifted_edges();
+  std::vector<NodeId> affected_roots(const std::vector<EdgeChange>& changes);
+  void full_build(Time batch_time);
+  void audit_against_reference();
+  double metric_of_root(NodeId root) const;
+
+  DaemonConfig config_;
+  EwmaRateEstimator estimator_;
+
+  // Writer-owned master state; copied into a Snapshot at publish time.
+  ContactGraph graph_;
+  std::vector<PathTable> tables_;
+  std::vector<double> metric_;
+  EdgeRootsIndex index_;
+
+  std::vector<std::uint8_t> dirty_flags_;   ///< per pair index
+  std::vector<std::size_t> dirty_pairs_;    ///< insertion order; sorted at scan
+  Time watermark_ = 0.0;                    ///< newest ingested start time
+  Time batch_deadline_ = kNever;            ///< next repair boundary
+  bool saw_contact_ = false;
+  std::uint64_t epoch_ = 0;
+  Stats stats_;
+
+  // Reader-visible shared state: the published snapshot pointer under a
+  // short mutex, and two atomic stream clocks for staleness stamping.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const Snapshot> shared_snapshot_;
+  std::atomic<Time> shared_ingest_clock_{0.0};
+  std::atomic<Time> shared_scan_clock_{0.0};
+};
+
+}  // namespace dtn::daemon

@@ -1,0 +1,65 @@
+#include "daemon/edge_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dtn::daemon {
+
+void EdgeRootsIndex::add_root_edges(NodeId root, const PathTable& table) {
+  auto& edges = root_edges_[static_cast<std::size_t>(root)];
+  const NodeId n = table.node_count();
+  for (NodeId node = 0; node < n; ++node) {
+    const PathTable::Entry& entry = table.entry(node);
+    if (entry.hops == 0 || entry.weight <= 0.0) continue;  // root/unreachable
+    const std::uint64_t key = edge_key(node, entry.next_hop);
+    auto& roots = edge_roots_[key];
+    // Insert keeping the list sorted; a root registers an edge only once
+    // per table (each non-root node has exactly one parent edge, but two
+    // sibling nodes can share no edge, so duplicates cannot occur).
+    roots.insert(std::lower_bound(roots.begin(), roots.end(), root), root);
+    edges.push_back(key);
+  }
+}
+
+void EdgeRootsIndex::remove_root_edges(NodeId root) {
+  auto& edges = root_edges_[static_cast<std::size_t>(root)];
+  for (const std::uint64_t key : edges) {
+    auto it = edge_roots_.find(key);
+    DTN_CHECK(it != edge_roots_.end(), "edge index out of sync with root");
+    auto& roots = it->second;
+    auto pos = std::lower_bound(roots.begin(), roots.end(), root);
+    DTN_CHECK(pos != roots.end() && *pos == root,
+              "edge index missing root entry");
+    roots.erase(pos);
+    if (roots.empty()) edge_roots_.erase(it);
+  }
+  edges.clear();
+}
+
+void EdgeRootsIndex::rebuild(const std::vector<PathTable>& tables) {
+  edge_roots_.clear();
+  root_edges_.assign(tables.size(), {});
+  for (std::size_t root = 0; root < tables.size(); ++root) {
+    DTN_CHECK(tables[root].root() == static_cast<NodeId>(root),
+              "tables must be indexed by root");
+    add_root_edges(static_cast<NodeId>(root), tables[root]);
+  }
+}
+
+void EdgeRootsIndex::update_root(NodeId root, const PathTable& table) {
+  DTN_CHECK(root >= 0 &&
+                static_cast<std::size_t>(root) < root_edges_.size(),
+            "update_root out of range");
+  DTN_CHECK(table.root() == root, "table rooted elsewhere");
+  remove_root_edges(root);
+  add_root_edges(root, table);
+}
+
+const std::vector<NodeId>* EdgeRootsIndex::roots_using(NodeId u,
+                                                       NodeId v) const {
+  const auto it = edge_roots_.find(edge_key(u, v));
+  return it == edge_roots_.end() ? nullptr : &it->second;
+}
+
+}  // namespace dtn::daemon

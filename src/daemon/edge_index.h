@@ -1,0 +1,61 @@
+// Reverse edge -> roots index over a family of single-source path tables.
+//
+// Incremental repair needs the inverse of the question a PathTable answers:
+// not "which edges does root r's tree use" but "which roots' trees use edge
+// (u, v)". The index is built from the PR 5 parent-chain representation —
+// every reachable non-root entry contributes exactly the tree edge
+// (node, next_hop) — and is maintained per root as tables are repaired, so
+// a drift batch can map each changed edge to the set of stale roots in
+// O(roots using the edge) instead of O(n^2).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/opportunistic_path.h"
+
+namespace dtn::daemon {
+
+/// Canonical undirected edge key (min, max packed into 64 bits).
+inline std::uint64_t edge_key(NodeId u, NodeId v) {
+  const std::uint64_t a = static_cast<std::uint64_t>(u < v ? u : v);
+  const std::uint64_t b = static_cast<std::uint64_t>(u < v ? v : u);
+  return (a << 32) | b;
+}
+
+/// Maps every tree edge to the sorted list of roots whose current shortest
+/// opportunistic path tree uses it. Lookup-only on the unordered map — the
+/// per-edge root lists are kept sorted, and callers fold over those, so no
+/// output ever depends on hash iteration order.
+class EdgeRootsIndex {
+ public:
+  EdgeRootsIndex() = default;
+
+  /// Rebuilds from scratch over all tables (warm start / full rebuild).
+  void rebuild(const std::vector<PathTable>& tables);
+
+  /// Replaces root's contribution: removes the edges its previous table
+  /// registered and adds the edges of `table` (which must be rooted at
+  /// `root`). Called for every repaired root after a repair batch.
+  void update_root(NodeId root, const PathTable& table);
+
+  /// Roots whose tree currently uses edge (u, v), ascending; nullptr when
+  /// no tree uses it.
+  const std::vector<NodeId>* roots_using(NodeId u, NodeId v) const;
+
+  /// Total number of distinct tree edges currently indexed.
+  std::size_t edge_count() const { return edge_roots_.size(); }
+
+ private:
+  void add_root_edges(NodeId root, const PathTable& table);
+  void remove_root_edges(NodeId root);
+
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> edge_roots_;
+  /// Per-root list of edge keys contributed, so update_root can remove the
+  /// old contribution without the old table.
+  std::vector<std::vector<std::uint64_t>> root_edges_;
+};
+
+}  // namespace dtn::daemon

@@ -1,0 +1,61 @@
+// Deterministic ingest/query scripting for the daemon.
+//
+// dtnd (and the daemon tests) drive a Daemon from two inputs: a contact
+// feed (any traceio::ContactCursor) and a query script. The script is the
+// replayed clock — `advance <t>` pulls the feed up to stream time t, the
+// query commands interrogate the daemon in between — so one script run is
+// a pure function of (trace bytes, script bytes, config) and its output
+// gates byte-for-byte across runs and thread counts.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "common/types.h"
+#include "daemon/daemon.h"
+#include "traceio/cursor.h"
+
+namespace dtn::daemon {
+
+/// One-slot-pushback adapter over a pull cursor: advance_until() must stop
+/// *before* the first contact at or past the limit, but a cursor can only
+/// tell us by handing that contact over — so it is parked here until the
+/// clock catches up.
+class ReplayFeed {
+ public:
+  explicit ReplayFeed(traceio::ContactCursor& cursor) : cursor_(&cursor) {}
+
+  /// Ingests every remaining contact with start < limit; returns how many.
+  std::size_t advance_until(Daemon& daemon, Time limit);
+
+  /// Ingests everything left in the feed; returns how many.
+  std::size_t drain(Daemon& daemon);
+
+  bool exhausted() const { return done_ && !has_pending_; }
+
+ private:
+  bool peek(ContactEvent& out);
+
+  traceio::ContactCursor* cursor_;
+  ContactEvent pending_{};
+  bool has_pending_ = false;
+  bool done_ = false;
+};
+
+/// Executes `script` line by line against the daemon, writing one output
+/// line per command to `out`. Commands ('#' starts a comment line):
+///   advance <t>                  ingest feed contacts with start < t
+///   drain                        ingest the rest of the feed
+///   repair                       force a repair batch now
+///   ncl <k>                      top-k central nodes
+///   weight <src> <dst> <budget>  path weight at the given time budget
+///   place <src> <k>              placement ranking for content at src
+///   stats                        writer-side counters + current epoch
+/// Every query line is stamped `@<epoch> lag=<staleness>`. Doubles print
+/// with %.17g, so output is byte-identical across runs and thread counts.
+/// Returns the number of commands executed; throws std::runtime_error on a
+/// malformed line.
+std::size_t run_script(Daemon& daemon, ReplayFeed& feed, std::istream& script,
+                       std::ostream& out);
+
+}  // namespace dtn::daemon

@@ -69,6 +69,9 @@ ContactTrace read_trace_csv(std::istream& in, std::string name,
     if (!std::isfinite(e.start) || !std::isfinite(e.duration)) {
       fail(line_no, "non-finite start or duration", text);
     }
+    if (options.strict && !events.empty() && e.start < events.back().start) {
+      fail(line_no, "contact start time goes backwards", text);
+    }
     if (e.duration < 0.0) fail(line_no, "negative contact duration", text);
     if (e.a < 0 || e.b < 0) fail(line_no, "negative node id", text);
     if (e.a == e.b) fail(line_no, "self-contact (a == b)", text);

@@ -24,7 +24,10 @@ void save_trace_csv(const ContactTrace& trace, const std::string& path);
 struct CsvParseOptions {
   /// Strict mode additionally rejects trailing fields / garbage after the
   /// fourth column (tolerated otherwise for compatibility with exports that
-  /// carry extra columns). Used by `tracetool validate`.
+  /// carry extra columns) and rows whose start time goes backwards —
+  /// lenient parsing re-sorts, but a streaming consumer (the dtnd daemon
+  /// feed) never sees the file through ContactTrace, so validation must
+  /// catch disorder at the source. Used by `tracetool validate`.
   bool strict = false;
   /// Name used in "<source>:<line>: ..." parse errors; empty = the trace
   /// name (useful when the trace name is a basename but errors should show

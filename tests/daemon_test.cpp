@@ -1,0 +1,506 @@
+// Serving daemon suite (src/daemon/, DESIGN.md §13).
+//
+// The headline contract is equivalence: a daemon that repairs its path
+// tables incrementally (reverse edge->roots index + one-step endpoint
+// drift detector + per-root re-runs) must end every batch with tables
+// bit-identical to a from-scratch PathEngine::kReference rebuild of its
+// own graph — across drift thresholds, traces, and thread counts. The
+// suite pins that from four directions: estimator unit behavior, reverse
+// index consistency, the audit-equivalence matrix (3 thresholds x 2
+// traces, EXPECT_EQ on every settled weight plus the NCL set), and
+// byte-identical ingest->query script output across runs and thread
+// counts. A TSan-facing test runs query threads concurrently with the
+// ingest loop: readers must see only whole published snapshots.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/daemon.h"
+#include "daemon/edge_index.h"
+#include "daemon/rate_estimator.h"
+#include "daemon/script.h"
+#include "graph/all_pairs.h"
+#include "graph/ncl.h"
+#include "trace/synthetic.h"
+#include "traceio/cursor.h"
+
+namespace dtn {
+namespace {
+
+using daemon::Daemon;
+using daemon::DaemonConfig;
+using daemon::EdgeRootsIndex;
+using daemon::EwmaRateEstimator;
+using daemon::ReplayFeed;
+
+ContactTrace small_trace(std::uint64_t seed, NodeId nodes = 20,
+                         double trace_days = 2.0) {
+  SyntheticTraceConfig config;
+  config.node_count = nodes;
+  config.duration = days(trace_days);
+  config.target_total_contacts = static_cast<double>(nodes) * 250.0;
+  config.seed = seed;
+  return generate_trace(config);
+}
+
+DaemonConfig test_config() {
+  DaemonConfig config;
+  config.horizon = hours(1.0);
+  config.repair_interval = hours(2.0);
+  return config;
+}
+
+// ---- EwmaRateEstimator -------------------------------------------------
+
+TEST(EwmaRateEstimator, PairIndexRoundTrips) {
+  const EwmaRateEstimator est(7);
+  std::size_t expect = 0;
+  for (NodeId a = 0; a < 7; ++a) {
+    for (NodeId b = a + 1; b < 7; ++b) {
+      EXPECT_EQ(est.pair_index(a, b), expect);
+      EXPECT_EQ(est.pair_index(b, a), expect);  // symmetric
+      NodeId ra = kNoNode;
+      NodeId rb = kNoNode;
+      est.pair_nodes(expect, ra, rb);
+      EXPECT_EQ(ra, a);
+      EXPECT_EQ(rb, b);
+      ++expect;
+    }
+  }
+}
+
+TEST(EwmaRateEstimator, EwmaRuleMatchesHandComputation) {
+  EwmaRateEstimator est(3, 0.25);
+  est.record(0, 1, 100.0);
+  EXPECT_EQ(est.rate(0, 1), 0.0);  // one contact: no gap yet
+  est.record(0, 1, 160.0);         // first gap 60 seeds the EWMA
+  EXPECT_DOUBLE_EQ(est.rate(0, 1), 1.0 / 60.0);
+  est.record(0, 1, 260.0);  // gap 100: 0.25*100 + 0.75*60 = 70
+  EXPECT_DOUBLE_EQ(est.rate(0, 1), 1.0 / 70.0);
+  const daemon::PairRateSummary summary = est.summary(0, 1);
+  EXPECT_EQ(summary.count, 3u);
+  EXPECT_DOUBLE_EQ(summary.mean_gap, (60.0 + 100.0) / 2.0);
+  EXPECT_DOUBLE_EQ(summary.ewma_gap, 70.0);
+}
+
+TEST(EwmaRateEstimator, DuplicateTimestampsDoNotPoisonTheRate) {
+  EwmaRateEstimator est(3);
+  est.record(1, 2, 50.0);
+  est.record(1, 2, 50.0);  // same meeting reported twice: gap 0
+  EXPECT_EQ(est.contact_count(1, 2), 2u);
+  EXPECT_EQ(est.rate(1, 2), 0.0);  // no positive gap yet -> no rate
+  est.record(1, 2, 80.0);
+  EXPECT_DOUBLE_EQ(est.rate(1, 2), 1.0 / 30.0);  // seeded by the 30s gap
+}
+
+TEST(EwmaRateEstimator, MinContactsFloorSuppressesSingletons) {
+  EwmaRateEstimator est(4, 0.125, 3);
+  est.record(0, 3, 10.0);
+  est.record(0, 3, 20.0);
+  EXPECT_EQ(est.rate(0, 3), 0.0);  // 2 contacts < floor of 3
+  est.record(0, 3, 40.0);
+  EXPECT_GT(est.rate(0, 3), 0.0);
+}
+
+TEST(EwmaRateEstimator, WarmStartEqualsIncrementalFeed) {
+  const ContactTrace trace = small_trace(7);
+  EwmaRateEstimator batch(trace.node_count());
+  batch.warm_start(trace);
+  EwmaRateEstimator incremental(trace.node_count());
+  for (const ContactEvent& event : trace.events()) {
+    incremental.record(event.a, event.b, event.start);
+  }
+  const auto a = batch.summaries();
+  const auto b = incremental.summaries();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].a, b[i].a);
+    EXPECT_EQ(a[i].b, b[i].b);
+    EXPECT_EQ(a[i].count, b[i].count);
+    EXPECT_EQ(a[i].ewma_gap, b[i].ewma_gap);
+    EXPECT_EQ(a[i].rate, b[i].rate);
+  }
+  // Canonical ascending order: golden-testable without sorting.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i - 1].a < a[i].a ||
+                (a[i - 1].a == a[i].a && a[i - 1].b < a[i].b));
+  }
+}
+
+// ---- EdgeRootsIndex ----------------------------------------------------
+
+TEST(EdgeRootsIndex, MatchesBruteForceScanOfTables) {
+  const ContactTrace trace = small_trace(11);
+  const ContactGraph graph = build_contact_graph(trace, -1.0, 2);
+  const AllPairsPaths paths(graph, hours(1.0), 8, 1);
+  std::vector<PathTable> tables;
+  for (NodeId r = 0; r < paths.node_count(); ++r) {
+    tables.push_back(paths.table(r));
+  }
+  EdgeRootsIndex index;
+  index.rebuild(tables);
+
+  // Every (u, v): the indexed root list must equal the roots whose table
+  // records u or v as the other's parent.
+  const NodeId n = graph.node_count();
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      std::vector<NodeId> expect;
+      for (NodeId r = 0; r < n; ++r) {
+        const PathTable& t = tables[static_cast<std::size_t>(r)];
+        bool uses = false;
+        for (NodeId node = 0; node < n; ++node) {
+          const PathTable::Entry& e = t.entry(node);
+          if (e.hops == 0 || e.weight <= 0.0) continue;
+          if ((node == u && e.next_hop == v) ||
+              (node == v && e.next_hop == u)) {
+            uses = true;
+          }
+        }
+        if (uses) expect.push_back(r);
+      }
+      const std::vector<NodeId>* got = index.roots_using(u, v);
+      if (expect.empty()) {
+        EXPECT_EQ(got, nullptr);
+      } else {
+        ASSERT_NE(got, nullptr);
+        EXPECT_EQ(*got, expect);
+      }
+    }
+  }
+}
+
+TEST(EdgeRootsIndex, UpdateRootKeepsIndexInSync) {
+  const ContactTrace trace = small_trace(13);
+  ContactGraph graph = build_contact_graph(trace, -1.0, 2);
+  const AllPairsPaths before(graph, hours(1.0), 8, 1);
+  std::vector<PathTable> tables;
+  for (NodeId r = 0; r < before.node_count(); ++r) {
+    tables.push_back(before.table(r));
+  }
+  EdgeRootsIndex incremental;
+  incremental.rebuild(tables);
+
+  // Perturb the graph, recompute one root, update only that root.
+  ASSERT_GT(graph.node_count(), 3);
+  graph.set_rate(0, 1, graph.rate(0, 1) > 0.0 ? graph.rate(0, 1) * 4.0
+                                              : 1.0 / 600.0);
+  tables[2] = compute_opportunistic_paths(graph, 2, hours(1.0), 8);
+  incremental.update_root(2, tables[2]);
+
+  EdgeRootsIndex fresh;
+  fresh.rebuild(tables);
+  const NodeId n = graph.node_count();
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const std::vector<NodeId>* a = incremental.roots_using(u, v);
+      const std::vector<NodeId>* b = fresh.roots_using(u, v);
+      if (a == nullptr || b == nullptr) {
+        EXPECT_EQ(a == nullptr, b == nullptr);
+      } else {
+        EXPECT_EQ(*a, *b);
+      }
+    }
+  }
+  EXPECT_EQ(incremental.edge_count(), fresh.edge_count());
+}
+
+// ---- incremental repair equivalence (the acceptance matrix) ------------
+
+/// Replays `trace` (second half live, first half warm) through a daemon,
+/// then EXPECT_EQs every settled weight and the NCL set against a fresh
+/// kReference rebuild of the daemon's own graph.
+void expect_repair_equivalence(const ContactTrace& trace, double drift) {
+  DaemonConfig config = test_config();
+  config.drift_threshold = drift;
+  config.audit = true;  // every batch also self-checks internally
+  Daemon d(trace.node_count(), config);
+
+  const std::size_t split = trace.size() / 2;
+  std::vector<ContactEvent> warm(trace.events().begin(),
+                                 trace.events().begin() +
+                                     static_cast<std::ptrdiff_t>(split));
+  d.warm_start(ContactTrace(trace.node_count(), warm, "warm"));
+  for (std::size_t i = split; i < trace.size(); ++i) {
+    d.ingest(trace.events()[i]);
+  }
+  d.repair_now();
+
+  const auto snap = d.snapshot();
+  ASSERT_TRUE(snap->ready());
+  const AllPairsPaths reference(snap->graph, config.horizon, config.max_hops,
+                                1, PathEngine::kReference);
+  const NodeId n = trace.node_count();
+  for (NodeId r = 0; r < n; ++r) {
+    for (NodeId node = 0; node < n; ++node) {
+      EXPECT_EQ(snap->tables[static_cast<std::size_t>(r)].weight(node),
+                reference.table(r).weight(node))
+          << "root " << r << " node " << node << " drift " << drift;
+    }
+  }
+  // NCL set equality at k = 5 through the real selector.
+  const NclSelection selection =
+      select_ncls(snap->graph, config.horizon, 5, config.max_hops, 1);
+  const daemon::NclAnswer answer = d.ncl_set(5);
+  EXPECT_EQ(answer.central, selection.central_nodes) << "drift " << drift;
+  for (NodeId i = 0; i < n; ++i) {
+    EXPECT_EQ(snap->metric[static_cast<std::size_t>(i)],
+              selection.metric[static_cast<std::size_t>(i)])
+        << "node " << i << " drift " << drift;
+  }
+}
+
+TEST(DaemonRepair, EquivalentToReferenceRebuildAcrossThresholdsTraceA) {
+  const ContactTrace trace = small_trace(3);
+  for (const double drift : {0.05, 0.2, 0.5}) {
+    expect_repair_equivalence(trace, drift);
+  }
+}
+
+TEST(DaemonRepair, EquivalentToReferenceRebuildAcrossThresholdsTraceB) {
+  const ContactTrace trace = small_trace(29, 16, 3.0);
+  for (const double drift : {0.05, 0.2, 0.5}) {
+    expect_repair_equivalence(trace, drift);
+  }
+}
+
+TEST(DaemonRepair, NewlyConnectedComponentIsDiscovered) {
+  // Regression guard for the endpoint detector's "new edge" case: a pair
+  // that never met during warm start starts meeting afterwards; once its
+  // estimate crosses the floor the repair must pull the new reachability
+  // into every affected table (audit cross-checks internally too).
+  DaemonConfig config = test_config();
+  config.audit = true;
+  Daemon d(4, config);
+
+  std::vector<ContactEvent> warm;
+  for (int i = 0; i < 8; ++i) {
+    // Two disjoint pairs: 0-1 and 2-3.
+    warm.push_back({0.0 + 600.0 * i, 60.0, 0, 1});
+    warm.push_back({300.0 + 600.0 * i, 60.0, 2, 3});
+  }
+  d.warm_start(ContactTrace(4, warm, "warm"));
+  EXPECT_EQ(d.path_weight(0, 3, hours(1.0)).weight, 0.0);  // disconnected
+
+  // Bridge 1-2 appears in the live stream.
+  for (int i = 0; i < 8; ++i) {
+    d.ingest({5000.0 + 600.0 * i, 60.0, 1, 2});
+  }
+  d.repair_now();
+  EXPECT_GT(d.path_weight(0, 3, hours(1.0)).weight, 0.0);
+  const auto snap = d.snapshot();
+  const AllPairsPaths reference(snap->graph, config.horizon, config.max_hops,
+                                1, PathEngine::kReference);
+  for (NodeId r = 0; r < 4; ++r) {
+    for (NodeId node = 0; node < 4; ++node) {
+      EXPECT_EQ(snap->tables[static_cast<std::size_t>(r)].weight(node),
+                reference.table(r).weight(node));
+    }
+  }
+}
+
+// ---- epochs, staleness, queries ----------------------------------------
+
+TEST(Daemon, EpochZeroAnswersBeforeWarmStart) {
+  const Daemon d(6, test_config());
+  const auto snap = d.snapshot();
+  EXPECT_EQ(snap->epoch, 0u);
+  EXPECT_FALSE(snap->ready());
+  EXPECT_TRUE(d.ncl_set(3).central.empty());
+  EXPECT_EQ(d.path_weight(1, 2, 600.0).weight, 0.0);
+  EXPECT_EQ(d.path_weight(2, 2, 600.0).weight, 1.0);  // self, always
+  EXPECT_TRUE(d.placement_for(0, 2).ranked.empty());
+}
+
+TEST(Daemon, WarmStartPublishesEpochOneAndStampsAnswers) {
+  const ContactTrace trace = small_trace(5);
+  Daemon d(trace.node_count(), test_config());
+  d.warm_start(trace);
+  const daemon::NclAnswer answer = d.ncl_set(3);
+  EXPECT_EQ(answer.info.epoch, 1u);
+  EXPECT_EQ(answer.info.staleness, 0.0);  // nothing ingested past the scan
+  EXPECT_EQ(answer.central.size(), 3u);
+}
+
+TEST(Daemon, StalenessTracksIngestAheadOfRepair) {
+  const ContactTrace trace = small_trace(19);
+  DaemonConfig config = test_config();
+  config.repair_interval = kNever;  // manual batches only
+  Daemon d(trace.node_count(), config);
+  const std::size_t split = trace.size() / 2;
+  std::vector<ContactEvent> warm(trace.events().begin(),
+                                 trace.events().begin() +
+                                     static_cast<std::ptrdiff_t>(split));
+  d.warm_start(ContactTrace(trace.node_count(), warm, "warm"));
+  const Time warm_end = d.watermark();
+
+  for (std::size_t i = split; i < trace.size(); ++i) {
+    d.ingest(trace.events()[i]);
+  }
+  const Time lag = d.ncl_set(1).info.staleness;
+  EXPECT_DOUBLE_EQ(lag, trace.events().back().start - warm_end);
+  d.repair_now();
+  EXPECT_EQ(d.ncl_set(1).info.staleness, 0.0);
+}
+
+TEST(Daemon, QueriesMatchAllPairsSemantics) {
+  const ContactTrace trace = small_trace(23);
+  DaemonConfig config = test_config();
+  Daemon d(trace.node_count(), config);
+  d.warm_start(trace);
+  const auto snap = d.snapshot();
+  const AllPairsPaths paths(snap->graph, config.horizon, config.max_hops, 1);
+  const NodeId n = trace.node_count();
+  for (NodeId from = 0; from < n; ++from) {
+    for (NodeId to = 0; to < n; ++to) {
+      EXPECT_EQ(d.path_weight(from, to, hours(0.5)).weight,
+                paths.weight_at(from, to, hours(0.5)))
+          << from << "->" << to;
+    }
+  }
+  // Placement = NCL set ranked by stored weight towards the source.
+  const daemon::PlacementAnswer placement = d.placement_for(4, 3);
+  ASSERT_EQ(placement.ranked.size(), 3u);
+  for (std::size_t i = 1; i < placement.weights.size(); ++i) {
+    EXPECT_GE(placement.weights[i - 1], placement.weights[i]);
+  }
+  for (std::size_t i = 0; i < placement.ranked.size(); ++i) {
+    const NodeId c = placement.ranked[i];
+    EXPECT_EQ(placement.weights[i],
+              c == 4 ? 1.0
+                     : snap->tables[static_cast<std::size_t>(c)].weight(4));
+  }
+}
+
+// ---- script byte-identity ----------------------------------------------
+
+std::string run_scripted(const ContactTrace& trace, int threads) {
+  DaemonConfig config = test_config();
+  config.threads = threads;
+  Daemon d(trace.node_count(), config);
+  const std::size_t split = trace.size() / 2;
+  std::vector<ContactEvent> warm(trace.events().begin(),
+                                 trace.events().begin() +
+                                     static_cast<std::ptrdiff_t>(split));
+  std::vector<ContactEvent> live(trace.events().begin() +
+                                     static_cast<std::ptrdiff_t>(split),
+                                 trace.events().end());
+  d.warm_start(ContactTrace(trace.node_count(), warm, "warm"));
+  traceio::VectorContactCursor cursor(live);
+  ReplayFeed feed(cursor);
+  std::istringstream script(
+      "# replayed-clock query mix\n"
+      "ncl 4\n"
+      "advance 90000\n"
+      "repair\n"
+      "ncl 4\nweight 0 7 1800\nplace 3 4\n"
+      "drain\nrepair\n"
+      "ncl 4\nweight 0 7 1800\nweight 2 2 1\nplace 3 4\nstats\n");
+  std::ostringstream out;
+  daemon::run_script(d, feed, script, out);
+  return out.str();
+}
+
+TEST(DaemonScript, ByteIdenticalAcrossRunsAndThreadCounts) {
+  const ContactTrace trace = small_trace(31);
+  const std::string serial = run_scripted(trace, 1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(run_scripted(trace, 1), serial);   // same run, same bytes
+  EXPECT_EQ(run_scripted(trace, 0), serial);   // all cores
+  EXPECT_EQ(run_scripted(trace, 3), serial);   // odd pool size
+}
+
+TEST(DaemonScript, MalformedCommandThrowsWithLineNumber) {
+  const ContactTrace trace = small_trace(37, 8, 1.0);
+  Daemon d(trace.node_count(), test_config());
+  traceio::VectorContactCursor cursor(trace.events());
+  ReplayFeed feed(cursor);
+  std::istringstream script("ncl 2\nbogus 1 2\n");
+  std::ostringstream out;
+  try {
+    daemon::run_script(d, feed, script, out);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ReplayFeed, AdvanceBoundaryIsExclusiveAndPushbackHolds) {
+  std::vector<ContactEvent> events;
+  events.push_back({100.0, 10.0, 0, 1});
+  events.push_back({200.0, 10.0, 1, 2});
+  events.push_back({200.0, 10.0, 0, 2});  // duplicate timestamp
+  events.push_back({300.0, 10.0, 2, 3});
+  Daemon d(4, test_config());
+  traceio::VectorContactCursor cursor(events);
+  ReplayFeed feed(cursor);
+  EXPECT_EQ(feed.advance_until(d, 100.0), 0u);  // strict: start < limit
+  EXPECT_EQ(feed.advance_until(d, 200.0), 1u);
+  EXPECT_EQ(feed.advance_until(d, 201.0), 2u);  // both duplicates
+  EXPECT_FALSE(feed.exhausted());               // 300 parked in the slot
+  EXPECT_EQ(feed.drain(d), 1u);
+  EXPECT_TRUE(feed.exhausted());
+  EXPECT_EQ(d.stats().contacts_ingested, 4u);
+}
+
+// ---- concurrent readers (the TSan contract) ----------------------------
+
+TEST(DaemonConcurrency, QueriesRaceFreeAgainstIngestAndRepair) {
+  const ContactTrace trace = small_trace(43, 16, 2.0);
+  DaemonConfig config = test_config();
+  config.repair_interval = hours(1.0);  // many publishes during the replay
+  Daemon d(trace.node_count(), config);
+  const std::size_t split = trace.size() / 4;
+  std::vector<ContactEvent> warm(trace.events().begin(),
+                                 trace.events().begin() +
+                                     static_cast<std::ptrdiff_t>(split));
+  d.warm_start(ContactTrace(trace.node_count(), warm, "warm"));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> queries{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      std::uint64_t last_epoch = 0;
+      std::uint64_t count = 0;
+      const NodeId n = trace.node_count();
+      while (!stop.load(std::memory_order_acquire)) {
+        const NodeId src = static_cast<NodeId>(
+            (static_cast<std::uint64_t>(t) + count) %
+            static_cast<std::uint64_t>(n));
+        const daemon::NclAnswer ncl = d.ncl_set(3);
+        const daemon::WeightAnswer w =
+            d.path_weight(src, (src + 1) % n, hours(0.5));
+        const daemon::PlacementAnswer p = d.placement_for(src, 2);
+        // Epochs only move forward, and every answer is internally
+        // consistent (a torn snapshot would trip the DTN_CHECKs inside
+        // the query path long before this).
+        EXPECT_GE(ncl.info.epoch, last_epoch);
+        last_epoch = ncl.info.epoch;
+        EXPECT_GE(w.weight, 0.0);
+        EXPECT_LE(w.weight, 1.0);
+        EXPECT_LE(p.ranked.size(), 2u);
+        ++count;
+      }
+      queries.fetch_add(count, std::memory_order_relaxed);
+    });
+  }
+
+  for (std::size_t i = split; i < trace.size(); ++i) {
+    d.ingest(trace.events()[i]);
+  }
+  d.repair_now();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_GT(queries.load(), 0u);
+  EXPECT_GT(d.snapshot()->epoch, 1u);  // the replay actually published
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,70 @@
+// dtnlint fixture: seeded daemon-snapshot-guard violations. NEVER
+// compiled — the --self-test asserts every violation below is caught,
+// and that no OTHER rule fires in this file.
+
+namespace fixture {
+
+struct Snapshot {
+  unsigned long epoch;
+};
+
+struct SnapshotPtr {
+  const Snapshot* get() const;
+};
+
+struct AtomicTime {
+  double load(int order) const;
+  void store(double value, int order);
+};
+
+struct Mutex {};
+
+SnapshotPtr shared_snapshot_;
+AtomicTime shared_ingest_clock_;
+AtomicTime shared_scan_clock_;
+Mutex snapshot_mu_;
+int kOrderAcquire;
+
+void consume(const Snapshot* snap);
+void consume_time(double t);
+void defer(void (*fn)());
+
+// Bare read of the published pointer: no guard on this path, no atomic
+// member call — a concurrent publish() can tear it.
+const Snapshot* bad_unguarded_read() {
+  return shared_snapshot_.get();  // seeded violation
+}
+
+// The guard lives and dies inside the branch; the read after the
+// conditional runs unguarded on every path.
+void bad_guard_dies_with_branch(bool fast) {
+  if (fast) {
+    const std::lock_guard<std::mutex> guard(snapshot_mu_);
+    consume(shared_snapshot_.get());  // guarded: fine
+  }
+  consume(shared_snapshot_.get());  // seeded violation
+}
+
+// Raw read of an atomic member without .load(): the value itself is
+// atomic, but the naming contract requires the explicit memory order.
+void bad_clock_without_load() {
+  consume_time(shared_ingest_clock_.load(kOrderAcquire));  // fine
+  AtomicTime copy = shared_scan_clock_;  // seeded violation
+  (void)copy;
+}
+
+// A lambda body runs at call time; the guard live at its definition site
+// is long gone by then.
+void bad_lambda_outlives_guard() {
+  const std::lock_guard<std::mutex> guard(snapshot_mu_);
+  defer([] { consume(shared_snapshot_.get()); });  // seeded violation
+}
+
+// Shared state read inside a conditional header, outside any guard.
+void bad_read_in_condition() {
+  if (shared_snapshot_.get() != nullptr) {  // seeded violation
+    consume_time(0.0);
+  }
+}
+
+}  // namespace fixture

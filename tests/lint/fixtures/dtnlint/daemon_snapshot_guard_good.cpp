@@ -1,0 +1,80 @@
+// dtnlint fixture: daemon-snapshot-guard clean patterns. NEVER compiled —
+// the --self-test asserts zero findings here under the FULL rule set.
+//
+// Comment/string immunity probes (must not fire):
+//   return shared_snapshot_.get();
+//   AtomicTime copy = shared_scan_clock_;
+
+namespace fixture {
+
+struct Snapshot {
+  unsigned long epoch;
+};
+
+struct SnapshotPtr {
+  const Snapshot* get() const;
+};
+
+struct AtomicTime {
+  double load(int order) const;
+  void store(double value, int order);
+  double exchange(double value, int order);
+};
+
+struct Mutex {};
+
+SnapshotPtr shared_snapshot_;
+AtomicTime shared_ingest_clock_;
+AtomicTime shared_scan_clock_;
+Mutex snapshot_mu_;
+int kOrderAcquire;
+int kOrderRelease;
+
+void consume(const Snapshot* snap);
+void consume_time(double t);
+
+const char* shared_banner() {
+  // A string mentioning the members is not a read of them.
+  return "shared_snapshot_ swaps under snapshot_mu_; "
+         "shared_ingest_clock_ is atomic";
+}
+
+// The canonical reader: copy the pointer under the guard, use the copy.
+const Snapshot* good_guarded_read() {
+  const std::lock_guard<std::mutex> guard(snapshot_mu_);
+  return shared_snapshot_.get();
+}
+
+// The canonical writer: swap under the guard.
+void good_guarded_publish(bool ready) {
+  const std::lock_guard<std::mutex> guard(snapshot_mu_);
+  if (ready) {
+    consume(shared_snapshot_.get());  // guard covers nested scopes
+  }
+}
+
+// Atomic members through explicit load/store with a memory order.
+void good_atomic_clocks(double watermark) {
+  shared_ingest_clock_.store(watermark, kOrderRelease);
+  const double ingested = shared_ingest_clock_.load(kOrderAcquire);
+  const double scanned = shared_scan_clock_.load(kOrderAcquire);
+  consume_time(ingested - scanned);
+  consume_time(shared_scan_clock_.exchange(0.0, kOrderRelease));
+}
+
+// `shared_ptr` / `shared_lock` the types are not `shared_*_` the members:
+// the trailing-underscore convention keeps them out of the rule.
+void good_type_names(std::shared_ptr<const Snapshot> snap) {
+  const std::shared_lock<std::shared_mutex> guard(snapshot_mu_);
+  consume(snap.get());
+  consume(shared_snapshot_.get());  // and shared_lock counts as a guard
+}
+
+// A plain local whose name merely starts with shared_ but is member-named:
+// still flagged if unguarded, so keep locals conventionally named.
+void good_local_naming() {
+  double sharedtotal = 0.0;  // no trailing underscore, not shared state
+  consume_time(sharedtotal);
+}
+
+}  // namespace fixture

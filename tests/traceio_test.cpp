@@ -323,6 +323,89 @@ TEST(TraceioCursor, EngineRunsIdenticallyFromVectorAndFileCursor) {
             vector_run.metrics.bytes_transferred());
 }
 
+// The daemon (src/daemon/) consumes cursors directly — no materialized
+// ContactTrace in between — so the degenerate shapes a long-running feed
+// can take must hold at the cursor layer itself.
+
+TEST(TraceioCursor, EmptyTraceYieldsNoEventsAndEndsCleanly) {
+  const ContactTrace empty(4, {}, "empty");
+  traceio::VectorContactCursor vec(empty.events());
+  EXPECT_TRUE(traceio::drain(vec).empty());
+
+  ScratchDir dir("empty");
+  const std::string path = dir.file("empty.dtntrace");
+  traceio::save_trace_binary(empty, path);
+  traceio::BinaryFileContactCursor cursor(path);
+  EXPECT_EQ(cursor.meta().contact_count, 0u);
+  EXPECT_EQ(cursor.meta().node_count, 4);
+  ContactEvent event;
+  EXPECT_FALSE(cursor.next(event));
+  EXPECT_FALSE(cursor.next(event));  // end-of-stream is sticky
+}
+
+TEST(TraceioCursor, SingleContactTraceStreamsExactlyOnce) {
+  std::vector<ContactEvent> events;
+  events.push_back({42.5, 7.0, 1, 3});
+  const ContactTrace one(5, events, "one");
+  ScratchDir dir("single");
+  const std::string path = dir.file("single.dtntrace");
+  traceio::save_trace_binary(one, path);
+  traceio::BinaryFileContactCursor cursor(path);
+  ContactEvent event;
+  ASSERT_TRUE(cursor.next(event));
+  EXPECT_EQ(event, one.events()[0]);
+  EXPECT_FALSE(cursor.next(event));
+}
+
+TEST(TraceioCursor, DuplicateTimestampsStreamInCanonicalPairOrder) {
+  // Several contacts at the same instant (one crowded room): the binary
+  // writer stores them in ContactEventOrder and the cursor must hand them
+  // back in exactly that order — the daemon's estimator treats a repeated
+  // (pair, time) as one physical meeting, which only works if duplicates
+  // arrive adjacent, not shuffled.
+  std::vector<ContactEvent> events;
+  events.push_back({100.0, 5.0, 2, 3});
+  events.push_back({100.0, 5.0, 0, 1});
+  events.push_back({100.0, 5.0, 0, 1});  // exact duplicate record
+  events.push_back({100.0, 5.0, 1, 2});
+  events.push_back({250.0, 5.0, 0, 1});
+  const ContactTrace trace(4, events, "dups");  // ctor sorts canonically
+  ScratchDir dir("dups");
+  const std::string path = dir.file("dups.dtntrace");
+  traceio::save_trace_binary(trace, path);
+  traceio::BinaryFileContactCursor cursor(path);
+  const std::vector<ContactEvent> streamed = traceio::drain(cursor);
+  ASSERT_EQ(streamed.size(), 5u);
+  EXPECT_EQ(streamed, trace.events());
+  EXPECT_EQ(streamed[0], streamed[1]);  // the duplicate survived intact
+}
+
+TEST(TraceioStrict, CsvRejectsOutOfOrderContactsOnlyInStrictMode) {
+  const std::string csv =
+      "start,duration,a,b\n"
+      "100.0,5.0,0,1\n"
+      "50.0,5.0,1,2\n";
+  // Lenient parsing re-sorts (ContactTrace owns the order), so a shuffled
+  // export still loads.
+  std::istringstream lenient_in(csv);
+  const ContactTrace sorted = read_trace_csv(lenient_in, "shuffled");
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted.events()[0].start, 50.0);
+  // Strict mode is the validation path for files a streaming consumer will
+  // read without the re-sort: disorder must be a diagnosed error.
+  CsvParseOptions strict;
+  strict.strict = true;
+  std::istringstream strict_in(csv);
+  try {
+    read_trace_csv(strict_in, "shuffled", 0, strict);
+    FAIL() << "out-of-order row must throw in strict mode";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(":3:"), std::string::npos) << what;
+    EXPECT_NE(what.find("backwards"), std::string::npos) << what;
+  }
+}
+
 // ---- sidecar cache ----------------------------------------------------
 
 TEST(TraceioCache, ColdParseWritesSidecarWarmLoadUsesIt) {

@@ -1,0 +1,316 @@
+// dtnd — the long-running serving daemon, driven in trace-replay mode.
+//
+// Loads a contact trace, folds a warm-up prefix into the daemon as a batch
+// warm start, then replays the remainder through the streaming feed under
+// the control of a query script (src/daemon/script.h): `advance <t>` moves
+// the replayed clock, query commands interrogate the live path tables in
+// between. Every answer is stamped with its snapshot epoch and staleness.
+//
+//   dtnd --trace FILE [--script FILE] [options]
+//   dtnd --synthetic NAME [--script FILE] [options]   (infocom05|infocom06|
+//                                                      mit|ucsd)
+//
+// With no --script, dtnd drains the whole feed and prints stats. --audit
+// cross-checks every repair batch against a fresh PathEngine::kReference
+// rebuild (DTN_CHECK aborts on divergence) — the CI daemon-soak job runs
+// exactly that. --self-test runs built-in end-to-end determinism and audit
+// checks and is registered in ctest.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "daemon/daemon.h"
+#include "daemon/script.h"
+#include "trace/synthetic.h"
+#include "traceio/cache.h"
+#include "traceio/cursor.h"
+
+using namespace dtn;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: dtnd (--trace FILE | --synthetic NAME) [options]\n"
+      "  --trace FILE       contact trace to replay (any supported format)\n"
+      "  --synthetic NAME   built-in preset: infocom05|infocom06|mit|ucsd\n"
+      "  --script FILE      query script ('-' = stdin); default: drain+stats\n"
+      "  --warm-frac F      trace fraction used as batch warm start [0.5]\n"
+      "  --horizon SECS     path horizon T [3600]\n"
+      "  --max-hops N       path hop cap [8]\n"
+      "  --drift X          relative rate-drift repair threshold [0.2]\n"
+      "  --interval SECS    repair batch interval in stream time [3600]\n"
+      "  --alpha A          EWMA weight of the newest inter-contact gap\n"
+      "  --threads N        repair parallelism (0 = hardware) [1]\n"
+      "  --audit            check every repair batch vs reference rebuild\n"
+      "  --stats            print daemon counters at exit\n"
+      "  --json PATH        also write the counters as JSON\n"
+      "  --self-test        run built-in end-to-end checks\n");
+  std::exit(2);
+}
+
+struct Options {
+  std::string trace_path;
+  std::string synthetic;
+  std::string script_path;
+  std::string json_path;
+  double warm_frac = 0.5;
+  daemon::DaemonConfig config;
+  bool stats = false;
+  bool self_test = false;
+};
+
+Options parse_args(int argc, char** argv) {
+  Options options;
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage();
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      options.trace_path = value(i);
+    } else if (arg == "--synthetic") {
+      options.synthetic = value(i);
+    } else if (arg == "--script") {
+      options.script_path = value(i);
+    } else if (arg == "--warm-frac") {
+      options.warm_frac = std::atof(value(i));
+    } else if (arg == "--horizon") {
+      options.config.horizon = std::atof(value(i));
+    } else if (arg == "--max-hops") {
+      options.config.max_hops = std::atoi(value(i));
+    } else if (arg == "--drift") {
+      options.config.drift_threshold = std::atof(value(i));
+    } else if (arg == "--interval") {
+      options.config.repair_interval = std::atof(value(i));
+    } else if (arg == "--alpha") {
+      options.config.ewma_alpha = std::atof(value(i));
+    } else if (arg == "--threads") {
+      options.config.threads = std::atoi(value(i));
+    } else if (arg == "--audit") {
+      options.config.audit = true;
+    } else if (arg == "--stats") {
+      options.stats = true;
+    } else if (arg == "--json") {
+      options.json_path = value(i);
+    } else if (arg == "--self-test") {
+      options.self_test = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else {
+      std::fprintf(stderr, "dtnd: unknown argument: %s\n", arg.c_str());
+      usage();
+    }
+  }
+  return options;
+}
+
+ContactTrace load_input(const Options& options) {
+  if (!options.trace_path.empty()) {
+    return traceio::load_trace_any(options.trace_path);
+  }
+  SyntheticTraceConfig config;
+  if (options.synthetic == "infocom05") {
+    config = infocom05_preset();
+  } else if (options.synthetic == "infocom06") {
+    config = infocom06_preset();
+  } else if (options.synthetic == "mit") {
+    config = mit_reality_preset();
+  } else if (options.synthetic == "ucsd") {
+    config = ucsd_preset();
+  } else {
+    std::fprintf(stderr, "dtnd: unknown synthetic preset: %s\n",
+                 options.synthetic.c_str());
+    usage();
+  }
+  return generate_trace(config);
+}
+
+std::string stats_json(const daemon::Daemon& daemon) {
+  const daemon::Daemon::Stats& s = daemon.stats();
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"epoch\": " << daemon.snapshot()->epoch << ",\n"
+      << "  \"contacts_ingested\": " << s.contacts_ingested << ",\n"
+      << "  \"repair_batches\": " << s.repair_batches << ",\n"
+      << "  \"edge_updates\": " << s.edge_updates << ",\n"
+      << "  \"roots_repaired\": " << s.roots_repaired << ",\n"
+      << "  \"full_rebuilds\": " << s.full_rebuilds << ",\n"
+      << "  \"audit_rebuilds\": " << s.audit_rebuilds << ",\n"
+      << "  \"snapshots_published\": " << s.snapshots_published << "\n"
+      << "}\n";
+  return out.str();
+}
+
+void print_stats(const daemon::Daemon& daemon) {
+  const daemon::Daemon::Stats& s = daemon.stats();
+  std::printf(
+      "daemon: epoch %llu, %llu contacts, %llu batches (%llu full), "
+      "%llu edge updates, %llu roots repaired, %llu audits\n",
+      static_cast<unsigned long long>(daemon.snapshot()->epoch),
+      static_cast<unsigned long long>(s.contacts_ingested),
+      static_cast<unsigned long long>(s.repair_batches),
+      static_cast<unsigned long long>(s.full_rebuilds),
+      static_cast<unsigned long long>(s.edge_updates),
+      static_cast<unsigned long long>(s.roots_repaired),
+      static_cast<unsigned long long>(s.audit_rebuilds));
+}
+
+/// Warm prefix / replay suffix split at `warm_frac` of the contact count.
+std::size_t warm_split(const ContactTrace& trace, double warm_frac) {
+  if (warm_frac <= 0.0) return 0;
+  if (warm_frac >= 1.0) return trace.size();
+  return static_cast<std::size_t>(warm_frac *
+                                  static_cast<double>(trace.size()));
+}
+
+int run(const Options& options) {
+  const ContactTrace trace = load_input(options);
+  if (trace.node_count() < 2) {
+    std::fprintf(stderr, "dtnd: trace has fewer than 2 nodes\n");
+    return 1;
+  }
+  daemon::Daemon daemon(trace.node_count(), options.config);
+
+  const std::size_t split = warm_split(trace, options.warm_frac);
+  std::vector<ContactEvent> warm(trace.events().begin(),
+                                 trace.events().begin() +
+                                     static_cast<std::ptrdiff_t>(split));
+  std::vector<ContactEvent> live(trace.events().begin() +
+                                     static_cast<std::ptrdiff_t>(split),
+                                 trace.events().end());
+  if (!warm.empty()) {
+    daemon.warm_start(
+        ContactTrace(trace.node_count(), std::move(warm), "warm"));
+  }
+  traceio::VectorContactCursor cursor(live);
+  daemon::ReplayFeed feed(cursor);
+
+  if (options.script_path.empty()) {
+    const std::size_t n = feed.drain(daemon);
+    daemon.repair_now();
+    std::printf("drained %zu live contacts (after %zu warm)\n", n, split);
+  } else if (options.script_path == "-") {
+    daemon::run_script(daemon, feed, std::cin, std::cout);
+  } else {
+    std::ifstream script(options.script_path);
+    if (!script) {
+      std::fprintf(stderr, "dtnd: cannot open script: %s\n",
+                   options.script_path.c_str());
+      return 1;
+    }
+    daemon::run_script(daemon, feed, script, std::cout);
+  }
+
+  if (options.stats) print_stats(daemon);
+  if (!options.json_path.empty()) {
+    std::ofstream out(options.json_path);
+    if (!out) {
+      std::fprintf(stderr, "dtnd: cannot write json: %s\n",
+                   options.json_path.c_str());
+      return 1;
+    }
+    out << stats_json(daemon);
+  }
+  return 0;
+}
+
+// ---- self test ---------------------------------------------------------
+
+#define DTND_CHECK(cond)                                                 \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "dtnd self-test FAILED at %s:%d: %s\n",       \
+                   __FILE__, __LINE__, #cond);                           \
+      return false;                                                      \
+    }                                                                    \
+  } while (0)
+
+ContactTrace self_test_trace(std::uint64_t seed) {
+  SyntheticTraceConfig config;
+  config.node_count = 24;
+  config.duration = days(2.0);
+  config.target_total_contacts = 6000.0;
+  config.seed = seed;
+  return generate_trace(config);
+}
+
+std::string replay_output(const ContactTrace& trace,
+                          const daemon::DaemonConfig& config,
+                          const std::string& script_text) {
+  daemon::Daemon daemon(trace.node_count(), config);
+  const std::size_t split = trace.size() / 2;
+  std::vector<ContactEvent> warm(trace.events().begin(),
+                                 trace.events().begin() +
+                                     static_cast<std::ptrdiff_t>(split));
+  std::vector<ContactEvent> live(trace.events().begin() +
+                                     static_cast<std::ptrdiff_t>(split),
+                                 trace.events().end());
+  daemon.warm_start(ContactTrace(trace.node_count(), std::move(warm), "warm"));
+  traceio::VectorContactCursor cursor(live);
+  daemon::ReplayFeed feed(cursor);
+  std::istringstream script(script_text);
+  std::ostringstream out;
+  daemon::run_script(daemon, feed, script, out);
+  return out.str();
+}
+
+bool self_test() {
+  const ContactTrace trace = self_test_trace(17);
+  const Time mid = trace.start_time() + trace.duration() * 0.75;
+  std::ostringstream script;
+  script << "advance " << mid << "\n"
+         << "repair\nncl 4\nweight 0 5 1800\nweight 3 3 60\nplace 2 3\n"
+         << "drain\nrepair\nncl 4\nweight 0 5 1800\nstats\n";
+
+  daemon::DaemonConfig config;
+  config.horizon = hours(1.0);
+  config.repair_interval = hours(2.0);
+  config.audit = true;  // every batch cross-checked against kReference
+
+  // Byte-identical output across runs and thread counts.
+  const std::string serial = replay_output(trace, config, script.str());
+  DTND_CHECK(!serial.empty());
+  const std::string again = replay_output(trace, config, script.str());
+  DTND_CHECK(serial == again);
+  daemon::DaemonConfig threaded = config;
+  threaded.threads = 0;  // all cores
+  DTND_CHECK(replay_output(trace, threaded, script.str()) == serial);
+
+  // Distinct drift thresholds still audit clean (audit DTN_CHECK-aborts
+  // on divergence inside replay_output) and still answer every query.
+  // Tables may legitimately differ between thresholds — each tolerates a
+  // different residual drift — so only the audit, not cross-threshold
+  // equality, is checked here; daemon_test covers the equivalence matrix.
+  for (const double drift : {0.01, 0.5}) {
+    daemon::DaemonConfig variant = config;
+    variant.drift_threshold = drift;
+    DTND_CHECK(!replay_output(trace, variant, script.str()).empty());
+  }
+
+  std::printf("dtnd self-test OK\n");
+  return true;
+}
+
+#undef DTND_CHECK
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_args(argc, argv);
+  if (options.self_test) return self_test() ? 0 : 1;
+  if (options.trace_path.empty() == options.synthetic.empty()) usage();
+  try {
+    return run(options);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "dtnd: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,4 +1,4 @@
-"""The five flow-aware dtnlint rules introduced with the analysis engine.
+"""The flow-aware dtnlint rules introduced with the analysis engine.
 
 Each rule walks the statement/scope tree from cpp.py rather than matching
 lines, so it understands branch-local facts (a handle released in the
@@ -512,6 +512,94 @@ class WorkspaceBracketingRule(Rule):
                     state -= 1
         returned = bool(texts) and texts[0] == "return"
         return state, returned
+
+
+# ---------------------------------------------------------------------------
+# daemon-snapshot-guard: the dtnd daemon (src/daemon/) publishes state to
+# reader threads through exactly two channels — a snapshot pointer swapped
+# under a short mutex, and atomic stream clocks. The naming convention makes
+# the contract checkable: every cross-thread member is `shared_*_`, and any
+# touch of one must either sit under a lock guard on the current path or go
+# through an atomic member call (`.load(...)` / `.store(...)` etc.). A bare
+# read compiles fine and usually works — until a reader tears a pointer the
+# writer is mid-swap on. TSan catches the interleaving that happens to run;
+# this rule catches the path before it runs.
+
+_GUARD_TYPES = {"lock_guard", "scoped_lock", "unique_lock", "shared_lock"}
+_ATOMIC_METHODS = {
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_or",
+    "fetch_and", "compare_exchange_weak", "compare_exchange_strong",
+}
+
+
+def _is_shared_member(name: str) -> bool:
+    # `shared_snapshot_`, `shared_ingest_clock_`, ... — the trailing
+    # underscore keeps `shared_ptr`/`shared_lock` (type names) out.
+    return name.startswith("shared_") and name.endswith("_")
+
+
+@register
+class DaemonSnapshotGuardRule(Rule):
+    rule_id = "daemon-snapshot-guard"
+    message = ""  # always per-finding
+
+    def applies_to(self, rel_path):
+        return rel_path.startswith("src/daemon/") or is_fixture(rel_path)
+
+    def check(self, tu, ctx):
+        for fn in tu.functions():
+            findings = []
+            self._walk(fn.items, False, findings)
+            yield from findings
+
+    def _walk(self, items, guarded, findings):
+        """Walks one statement sequence. `guarded` is path state: a lock
+        guard declared here protects the rest of THIS block and anything
+        nested in it, and dies with the block — a guard taken inside a
+        branch does not cover code after the conditional."""
+        for item in items:
+            if isinstance(item, Scope):
+                if item.kind == "lambda":
+                    # The body runs at call time; whatever guard is live at
+                    # the definition site is long gone by then.
+                    self._walk(item.items, False, findings)
+                    continue
+                if not guarded:
+                    self._check_tokens(item.header, findings)
+                self._walk(item.items, guarded, findings)
+            else:
+                if self._declares_guard(item):
+                    guarded = True
+                    continue
+                if not guarded:
+                    self._check_tokens(item.tokens, findings)
+
+    @staticmethod
+    def _declares_guard(stmt: Stmt) -> bool:
+        return any(t.kind == "ident" and t.text in _GUARD_TYPES
+                   for t in stmt.tokens)
+
+    def _check_tokens(self, tokens, findings):
+        for i, tok in enumerate(tokens):
+            if tok.kind != "ident" or not _is_shared_member(tok.text):
+                continue
+            if self._is_atomic_call(tokens, i):
+                continue
+            findings.append(
+                (tok.line,
+                 f"`{tok.text}` is daemon shared state touched outside a "
+                 f"lock guard and not through an atomic member call; a "
+                 f"reader can observe a torn update — copy it under "
+                 f"std::lock_guard (Daemon::snapshot()/publish()) or use "
+                 f".load()/.store() with explicit memory order"))
+
+    @staticmethod
+    def _is_atomic_call(tokens, i) -> bool:
+        return (i + 3 < len(tokens)
+                and tokens[i + 1].text in (".", "->")
+                and tokens[i + 2].kind == "ident"
+                and tokens[i + 2].text in _ATOMIC_METHODS
+                and tokens[i + 3].text == "(")
 
 
 # ---------------------------------------------------------------------------

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "daemon/rate_estimator.h"
 #include "trace/trace_io.h"
 #include "traceio/binary.h"
 #include "traceio/cache.h"
@@ -35,6 +36,8 @@ namespace {
       stderr,
       "usage: tracetool <command> [options]\n"
       "  tracetool stats <file>         print a trace summary\n"
+      "                                 --pairs: per-pair inter-contact\n"
+      "                                 table (count, mean/EWMA gap, rate)\n"
       "  tracetool convert <in> <out>   convert between formats; the output\n"
       "                                 extension picks .dtntrace or CSV\n"
       "  tracetool validate <file>      strict parse, file:line diagnostics\n"
@@ -52,6 +55,7 @@ struct ToolOptions {
   std::string format;
   bool use_cache = false;
   bool strict = false;
+  bool pairs = false;
 };
 
 ToolOptions parse_args(int argc, char** argv) {
@@ -65,6 +69,8 @@ ToolOptions parse_args(int argc, char** argv) {
       options.use_cache = true;
     } else if (arg == "--strict") {
       options.strict = true;
+    } else if (arg == "--pairs") {
+      options.pairs = true;
     } else if (arg == "--self-test") {
       options.command = "self-test";
     } else if (arg == "--help" || arg == "-h") {
@@ -98,6 +104,23 @@ void print_percentiles(const char* label, std::vector<double> samples) {
               percentile(samples, 0.99));
 }
 
+/// Formats the per-pair inter-contact table — count, mean gap, EWMA gap and
+/// the implied meeting rate — through the daemon's EwmaRateEstimator, so
+/// what tracetool reports is exactly what a dtnd instance warm-started from
+/// this trace would serve. Output order is canonical (a, b) ascending and
+/// every number prints through a fixed format, so the bytes golden-test.
+void write_pair_rates(const ContactTrace& trace, std::ostream& out) {
+  daemon::EwmaRateEstimator estimator(trace.node_count());
+  estimator.warm_start(trace);
+  out << "pair  contacts  mean_gap_s  ewma_gap_s  rate_per_day\n";
+  for (const daemon::PairRateSummary& s : estimator.summaries(1)) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%d-%d  %u  %.3f  %.3f  %.6f\n", s.a,
+                  s.b, s.count, s.mean_gap, s.ewma_gap, s.rate * 86400.0);
+    out << line;
+  }
+}
+
 int cmd_stats(const ToolOptions& options) {
   if (options.paths.size() != 1) usage();
   const ContactTrace trace = load(options, options.paths[0]);
@@ -127,6 +150,11 @@ int cmd_stats(const ToolOptions& options) {
   std::printf("total contact time: %.1f hours\n", total_contact_time / 3600.0);
   print_percentiles("contact duration  ", std::move(durations));
   print_percentiles("inter-contact gap ", std::move(gaps));
+  if (options.pairs) {
+    std::ostringstream pairs;
+    write_pair_rates(trace, pairs);
+    std::fputs(pairs.str().c_str(), stdout);
+  }
   return 0;
 }
 
@@ -234,6 +262,30 @@ int run_self_test() {
       imote->read(imote_in, "imote", "imote.txt", {});
   TT_CHECK(imote_trace.events().size() == 2);
   TT_CHECK(imote_trace.start_time() == 0.0);
+
+  // stats --pairs golden: the per-pair table through the daemon estimator,
+  // hand-computed. Pair 0-1 gaps {60, 120}: EWMA(0.125) = 0.125*120 +
+  // 0.875*60 = 67.5, mean 90. Pair 1-2 has a duplicate timestamp (one
+  // meeting reported twice): the zero gap bumps the count only, so the
+  // single positive gap 300 is both mean and EWMA. Pair 0-2 has a lone
+  // contact: no inter-contact sample, rate 0.
+  std::vector<ContactEvent> pair_events;
+  pair_events.push_back({0.0, 10.0, 0, 1});
+  pair_events.push_back({30.0, 10.0, 0, 2});
+  pair_events.push_back({60.0, 10.0, 0, 1});
+  pair_events.push_back({100.0, 10.0, 1, 2});
+  pair_events.push_back({100.0, 10.0, 1, 2});
+  pair_events.push_back({180.0, 10.0, 0, 1});
+  pair_events.push_back({400.0, 10.0, 1, 2});
+  const ContactTrace pair_trace(3, std::move(pair_events), "pairs");
+  std::ostringstream pair_out;
+  write_pair_rates(pair_trace, pair_out);
+  const std::string pair_golden =
+      "pair  contacts  mean_gap_s  ewma_gap_s  rate_per_day\n"
+      "0-1  3  90.000  67.500  1280.000000\n"
+      "0-2  1  0.000  0.000  0.000000\n"
+      "1-2  3  150.000  300.000  288.000000\n";
+  TT_CHECK(pair_out.str() == pair_golden);
 
   // Streaming cursor == materialized vector.
   std::istringstream bin_in2(bin.str());

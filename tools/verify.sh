@@ -137,7 +137,7 @@ stage_tsan() {
   # The tests that hammer the thread pool: proving "parallel == serial
   # bit-for-bit" is only meaningful if the parallel path is also race-free.
   sanitizer_stage thread build-tsan \
-    'ResolveThreads|ParallelFor|ParallelMap|ParallelReduce|DeriveSeed|ThreadPool|Determinism|Sweep|PathGolden|EngineGolden|GoldenFixture|Shard'
+    'ResolveThreads|ParallelFor|ParallelMap|ParallelReduce|DeriveSeed|ThreadPool|Determinism|Sweep|PathGolden|EngineGolden|GoldenFixture|Shard|Daemon'
 }
 
 stage_asan() { sanitizer_stage address build-asan; }
