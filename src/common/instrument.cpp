@@ -48,6 +48,9 @@ constexpr std::array<const char*, kCounterCount> kCounterNames = {
     "daemon_snapshots_published",
     "daemon_audit_rebuilds",
     "daemon_queries",
+    "dijkstra_pruned",
+    "sparse_landmark_tables",
+    "peak_rss_bytes",
 };
 
 constexpr std::array<const char*, kTimerCount> kTimerNames = {
@@ -64,6 +67,7 @@ constexpr std::array<const char*, kTimerCount> kTimerNames = {
     "sweep",
     "trace_load",
     "daemon_repair",
+    "sparse_metrics",
 };
 
 struct Registry {

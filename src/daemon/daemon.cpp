@@ -46,7 +46,8 @@ std::vector<NodeId> top_k(const std::vector<double>& metric, int k) {
 
 Daemon::Daemon(NodeId node_count, DaemonConfig config)
     : config_(config),
-      estimator_(node_count, config.ewma_alpha, config.min_contacts),
+      estimator_(node_count, config.ewma_alpha, config.min_contacts,
+                 config.rate_expiry),
       graph_(node_count) {
   if (!(config.horizon > 0.0)) {
     throw std::invalid_argument("horizon must be > 0");
@@ -145,11 +146,17 @@ std::vector<Daemon::EdgeChange> Daemon::collect_drifted_edges() {
   for (const std::size_t pair : dirty_pairs_) {
     dirty_flags_[pair] = 0;
     const double est = estimator_.rate_by_index(pair);
-    if (est <= 0.0) continue;  // below the observation floor; no edge yet
     EdgeChange change;
     estimator_.pair_nodes(pair, change.u, change.v);
     change.old_rate = graph_.rate(change.u, change.v);
     change.new_rate = est;
+    if (est <= 0.0) {
+      // Below the observation floor (no edge yet) — or, with expiry on, an
+      // edge whose estimate just expired: the latter must become a removal.
+      if (change.old_rate <= 0.0) continue;
+      changes.push_back(change);
+      continue;
+    }
     if (change.old_rate > 0.0) {
       const double rel = std::abs(est - change.old_rate) / change.old_rate;
       if (rel <= config_.drift_threshold) continue;  // within tolerance
@@ -157,6 +164,38 @@ std::vector<Daemon::EdgeChange> Daemon::collect_drifted_edges() {
     changes.push_back(change);
   }
   dirty_pairs_.clear();
+
+  if (estimator_.expiry() > 0.0) {
+    // Expired pairs usually stop producing contacts, so they never turn
+    // dirty: sweep the graph's existing edges for estimates that decayed to
+    // 0 behind our back. Candidates are gathered per edge and then sorted
+    // into canonical pair order, keeping the change list independent of
+    // adjacency-list ordering.
+    std::vector<std::size_t> expired;
+    const NodeId n = graph_.node_count();
+    for (NodeId a = 0; a < n; ++a) {
+      for (const auto& nb : graph_.neighbors(a)) {
+        if (nb.node <= a) continue;  // visit each undirected edge once
+        if (estimator_.rate(a, nb.node) > 0.0) continue;
+        expired.push_back(estimator_.pair_index(a, nb.node));
+      }
+    }
+    std::sort(expired.begin(), expired.end());
+    // The dirty loop above may already have emitted a removal for a pair
+    // that was both dirty and expired; skip those to keep changes unique.
+    for (const std::size_t pair : expired) {
+      EdgeChange change;
+      estimator_.pair_nodes(pair, change.u, change.v);
+      const bool already =
+          std::any_of(changes.begin(), changes.end(), [&](const EdgeChange& c) {
+            return c.u == change.u && c.v == change.v;
+          });
+      if (already) continue;
+      change.old_rate = graph_.rate(change.u, change.v);
+      change.new_rate = 0.0;
+      changes.push_back(change);
+    }
+  }
   return changes;
 }
 
@@ -237,7 +276,11 @@ void Daemon::repair(Time batch_time) {
   // updates and re-run exactly those roots with the production engine.
   std::vector<NodeId> roots = affected_roots(changes);
   for (const EdgeChange& change : changes) {
-    graph_.set_rate(change.u, change.v, change.new_rate);
+    if (change.new_rate > 0.0) {
+      graph_.set_rate(change.u, change.v, change.new_rate);
+    } else {
+      graph_.remove_edge(change.u, change.v);
+    }
   }
   stats_.edge_updates += changes.size();
   DTN_COUNT_N(kDaemonEdgeUpdates, changes.size());

@@ -64,6 +64,12 @@ struct DaemonConfig {
   double ewma_alpha = 0.125;
   std::uint32_t min_contacts = 2;
 
+  /// Estimator expiry (seconds of stream time): pairs silent for longer
+  /// than this decay towards — and at the expiry, to — rate 0, and their
+  /// graph edges are removed at the next repair batch. 0 keeps the legacy
+  /// persist-forever estimates (bit-identical to pre-expiry builds).
+  Time rate_expiry = 0.0;
+
   /// Relative rate drift |est - current| / current that marks an edge
   /// stale. Smaller = tighter tables, more repair work.
   double drift_threshold = 0.2;

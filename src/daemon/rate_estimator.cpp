@@ -8,8 +8,11 @@
 namespace dtn::daemon {
 
 EwmaRateEstimator::EwmaRateEstimator(NodeId node_count, double alpha,
-                                     std::uint32_t min_contacts)
-    : node_count_(node_count), alpha_(alpha), min_contacts_(min_contacts) {
+                                     std::uint32_t min_contacts, Time expiry)
+    : node_count_(node_count),
+      alpha_(alpha),
+      min_contacts_(min_contacts),
+      expiry_(expiry) {
   if (node_count < 2) {
     throw std::invalid_argument("estimator needs at least 2 nodes");
   }
@@ -18,6 +21,9 @@ EwmaRateEstimator::EwmaRateEstimator(NodeId node_count, double alpha,
   }
   if (min_contacts < 2) {
     throw std::invalid_argument("min_contacts must be >= 2");
+  }
+  if (expiry < 0.0) {
+    throw std::invalid_argument("expiry must be >= 0 (0 = never)");
   }
   const std::size_t n = static_cast<std::size_t>(node_count);
   cells_.resize(n * (n - 1) / 2);
@@ -67,6 +73,7 @@ std::size_t EwmaRateEstimator::record(NodeId i, NodeId j, Time when) {
   }
   cell.last = when;
   ++cell.count;
+  watermark_ = std::max(watermark_, when);
   return index;
 }
 
@@ -74,7 +81,16 @@ double EwmaRateEstimator::rate_by_index(std::size_t pair_index) const {
   DTN_CHECK(pair_index < cells_.size(), "pair index out of range");
   const Cell& cell = cells_[pair_index];
   if (cell.count < min_contacts_ || cell.ewma <= 0.0) return 0.0;
-  const double rate = 1.0 / cell.ewma;
+  double ewma = cell.ewma;
+  if (expiry_ > 0.0) {
+    // Silence decay (header comment): the time since the pair's last
+    // contact, measured against the stream watermark, is a lower bound on
+    // the gap currently in progress.
+    const Time silence = watermark_ - cell.last;
+    if (silence >= expiry_) return 0.0;
+    if (silence > ewma) ewma = alpha_ * silence + (1.0 - alpha_) * ewma;
+  }
+  const double rate = 1.0 / ewma;
   DTN_CHECK_FINITE(rate);
   return rate;
 }

@@ -49,17 +49,36 @@ struct PairRateSummary {
 /// Storage is dense upper-triangular like the batch RateEstimator: O(n^2/2)
 /// small structs, the right trade for the trace scales this tree targets
 /// (the million-node tier is the sparse-metric ROADMAP item, not this one).
+/// Decay/expiry (expiry > 0): without it, a pair that stops meeting keeps
+/// its last EWMA rate forever — dead links stay attractive in the contact
+/// graph indefinitely. With an expiry E, the estimate of a silent pair
+/// degrades as the stream's watermark (latest contact time seen by the
+/// estimator, across all pairs) moves past its last contact:
+///   silence = watermark - last_contact(p)
+///   silence >= E        -> rate = 0 (the pair has expired)
+///   ewma < silence < E  -> the ongoing gap is already longer than the
+///                          EWMA, and silence is a *lower bound* on it;
+///                          blend it in provisionally:
+///                          rate = 1 / (alpha*silence + (1-alpha)*ewma)
+///   silence <= ewma     -> rate = 1 / ewma (no evidence of decay yet)
+/// Still a pure fold over the contact stream — the watermark is stream
+/// data, not a clock — so decayed rates remain bit-reproducible.
 class EwmaRateEstimator {
  public:
   /// alpha in (0, 1]: weight of the newest gap. min_contacts (>= 2) is the
   /// observation floor below which rate() reports 0 — a single contact
-  /// carries no inter-contact information.
+  /// carries no inter-contact information. expiry (seconds) enables the
+  /// silence decay above; 0 keeps the legacy persist-forever behavior.
   explicit EwmaRateEstimator(NodeId node_count, double alpha = 0.125,
-                             std::uint32_t min_contacts = 2);
+                             std::uint32_t min_contacts = 2,
+                             Time expiry = 0.0);
 
   NodeId node_count() const { return node_count_; }
   double alpha() const { return alpha_; }
   std::uint32_t min_contacts() const { return min_contacts_; }
+  Time expiry() const { return expiry_; }
+  /// Latest contact time ingested so far (0 before any contact).
+  Time watermark() const { return watermark_; }
 
   /// Records one contact between i and j at time `when`. Contacts must
   /// arrive in non-decreasing time order (the cursor contract); i != j.
@@ -101,6 +120,8 @@ class EwmaRateEstimator {
   NodeId node_count_;
   double alpha_;
   std::uint32_t min_contacts_;
+  Time expiry_;
+  Time watermark_ = 0.0;
   std::vector<Cell> cells_;  ///< upper triangle, row-major
 };
 

@@ -37,8 +37,8 @@ Time effective_horizon(const ContactGraph& graph,
                        const ExperimentConfig& config) {
   if (!config.auto_horizon) return config.sim.path_horizon;
   return calibrate_horizon(graph, config.horizon_target_median, minutes(1),
-                           days(90), config.sim.max_hops,
-                           config.sim.threads);
+                           days(90), config.sim.max_hops, config.sim.threads,
+                           config.sim.metric_engine, config.sim.sparse_metric);
 }
 
 WarmupContext make_warmup_context(const ContactTrace& trace,
@@ -54,7 +54,8 @@ NclSelection warmup_ncl_selection(const ContactTrace& trace,
   const ContactGraph graph = warmup_graph(trace, config);
   return select_ncls(graph, effective_horizon(graph, config),
                      config.ncl_count, config.sim.max_hops,
-                     config.sim.threads);
+                     config.sim.threads, config.sim.metric_engine,
+                     config.sim.sparse_metric);
 }
 
 std::vector<Bytes> draw_buffer_capacities(const ExperimentConfig& config,
@@ -133,7 +134,9 @@ ExperimentResult run_experiment(const ContactTrace& trace, SchemeKind kind,
   const Time horizon = warmup->horizon;
   const NclSelection ncls = select_ncls(graph, horizon, config.ncl_count,
                                         config.sim.max_hops,
-                                        config.sim.threads);
+                                        config.sim.threads,
+                                        config.sim.metric_engine,
+                                        config.sim.sparse_metric);
 
   // Repetitions are independent (each derives its own seeds from the rep
   // index), so they run on the thread pool; the fold below accumulates the

@@ -35,6 +35,27 @@ void ContactGraph::set_rate(NodeId i, NodeId j, double rate) {
   if (inserted) ++edge_count_;
 }
 
+bool ContactGraph::remove_edge(NodeId i, NodeId j) {
+  if (i == j) throw std::invalid_argument("self-edge");
+  if (i < 0 || j < 0 || i >= node_count() || j >= node_count()) {
+    throw std::invalid_argument("node id out of range");
+  }
+  auto erase_direction = [&](NodeId from, NodeId to) -> bool {
+    auto& list = adjacency_[static_cast<std::size_t>(from)];
+    for (auto it = list.begin(); it != list.end(); ++it) {
+      if (it->node == to) {
+        list.erase(it);
+        return true;
+      }
+    }
+    return false;
+  };
+  const bool removed = erase_direction(i, j);
+  erase_direction(j, i);
+  if (removed) --edge_count_;
+  return removed;
+}
+
 double ContactGraph::rate(NodeId i, NodeId j) const {
   if (i < 0 || j < 0 || i >= node_count() || j >= node_count() || i == j) {
     return 0.0;

@@ -28,6 +28,11 @@ class ContactGraph {
   /// i != j; both in range. Overwriting updates both directions.
   void set_rate(NodeId i, NodeId j, double rate);
 
+  /// Removes the undirected edge i-j; returns false when absent. Needed by
+  /// the daemon's estimator expiry (daemon/rate_estimator.h): an expired
+  /// pair's rate goes to 0, which set_rate by design refuses to express.
+  bool remove_edge(NodeId i, NodeId j);
+
   /// Rate of edge i-j, or 0 when absent.
   double rate(NodeId i, NodeId j) const;
 

@@ -1,0 +1,281 @@
+#include "graph/sparse_metric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/check.h"
+#include "common/instrument.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace dtn {
+
+ContactGraph scale_contact_graph(const ScaleSyntheticConfig& config) {
+  const std::vector<ScaleEdge> edges = scale_edge_list(config);
+  ContactGraph graph(config.node_count);
+  for (const ScaleEdge& edge : edges) {
+    graph.set_rate(edge.u, edge.v, edge.rate);
+  }
+  return graph;
+}
+
+namespace {
+
+void validate_config(const SparseMetricConfig& config) {
+  if (!(config.weight_floor >= 0.0) || config.weight_floor >= 1.0) {
+    throw std::invalid_argument("weight_floor must be in [0, 1)");
+  }
+}
+
+/// Top-k node ids by metric, with the exact select_ncls ordering rule
+/// (metric descending, id ascending on ties).
+std::vector<NodeId> top_k_ids(const std::vector<double>& metric, int k) {
+  std::vector<NodeId> order(metric.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    const double ma = metric[static_cast<std::size_t>(a)];
+    const double mb = metric[static_cast<std::size_t>(b)];
+    if (ma != mb) return ma > mb;
+    return a < b;
+  });
+  const std::size_t take =
+      std::min<std::size_t>(static_cast<std::size_t>(std::max(k, 0)),
+                            order.size());
+  order.resize(take);
+  return order;
+}
+
+}  // namespace
+
+std::vector<NodeId> select_landmarks(const ContactGraph& graph,
+                                     const SparseMetricConfig& config) {
+  validate_config(config);
+  const NodeId n = graph.node_count();
+  std::vector<NodeId> ids(static_cast<std::size_t>(n));
+  std::iota(ids.begin(), ids.end(), 0);
+  if (config.landmark_count <= 0 || config.landmark_count >= n) return ids;
+  const std::size_t count = static_cast<std::size_t>(config.landmark_count);
+
+  switch (config.strategy) {
+    case LandmarkStrategy::kUniform: {
+      Rng rng(config.seed);
+      rng.shuffle(ids);
+      ids.resize(count);
+      break;
+    }
+    case LandmarkStrategy::kTopDegree: {
+      std::stable_sort(ids.begin(), ids.end(), [&](NodeId a, NodeId b) {
+        const std::size_t da = graph.neighbors(a).size();
+        const std::size_t db = graph.neighbors(b).size();
+        if (da != db) return da > db;
+        return a < b;
+      });
+      ids.resize(count);
+      break;
+    }
+    case LandmarkStrategy::kTopRate: {
+      std::vector<double> rate_sum(static_cast<std::size_t>(n), 0.0);
+      for (NodeId u = 0; u < n; ++u) {
+        double sum = 0.0;
+        for (const auto& nb : graph.neighbors(u)) sum += nb.rate;
+        rate_sum[static_cast<std::size_t>(u)] = sum;
+      }
+      std::stable_sort(ids.begin(), ids.end(), [&](NodeId a, NodeId b) {
+        const double ra = rate_sum[static_cast<std::size_t>(a)];
+        const double rb = rate_sum[static_cast<std::size_t>(b)];
+        if (ra != rb) return ra > rb;
+        return a < b;
+      });
+      ids.resize(count);
+      break;
+    }
+  }
+  // Ascending processing order: the accumulator fold below visits landmarks
+  // in list order, so a canonical order keeps results independent of the
+  // selection strategy's internal ordering.
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<double> sparse_ncl_metrics(const ContactGraph& graph, Time horizon,
+                                       int max_hops, int threads,
+                                       const SparseMetricConfig& config) {
+  validate_config(config);
+  const NodeId n = graph.node_count();
+  std::vector<double> metrics(static_cast<std::size_t>(n), 0.0);
+  if (n < 2) return metrics;
+  DTN_SCOPED_TIMER(kSparseMetrics);
+
+  const std::vector<NodeId> landmarks = select_landmarks(graph, config);
+  const std::size_t num_landmarks = landmarks.size();
+  const EdgeExpTable edge_exp = build_edge_exp_table(graph, horizon);
+  const double floor = config.weight_floor;
+
+  if (num_landmarks == static_cast<std::size_t>(n)) {
+    // Every node is a landmark: the exact tier. Same per-root fold as
+    // ncl_metrics — with a zero floor the pruned build never prunes, so the
+    // metric vector is bit-identical to MetricEngine::kFast.
+    parallel_for(threads, static_cast<std::size_t>(n), [&](std::size_t root) {
+      static thread_local PathWorkspace ws;
+      const NodeId i = static_cast<NodeId>(root);
+      const PathTable table = compute_opportunistic_paths_pruned(
+          graph, i, horizon, max_hops, ws, edge_exp, floor);
+      double sum = 0.0;
+      for (NodeId j = 0; j < n; ++j) {
+        if (j == i) continue;
+        sum += table.weight(j);
+      }
+      metrics[root] = sum / static_cast<double>(n - 1);
+      DTN_CHECK_PROB(metrics[root]);
+    });
+    DTN_COUNT_N(kSparseLandmarkTables, static_cast<std::uint64_t>(n));
+    return metrics;
+  }
+
+  // Landmark-sampled tier. Landmark tables are built in fixed-size chunks:
+  // a chunk's rows are computed in parallel (each worker owns its slice),
+  // then folded into the accumulator serially in landmark order — results
+  // are therefore identical for any thread count, and peak memory is
+  // O(kChunk · n) instead of O(|L| · n). kChunk is a constant, NOT derived
+  // from the thread count, so the fold order never depends on parallelism.
+  constexpr std::size_t kChunk = 16;
+  std::vector<double> acc(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> weights(kChunk * static_cast<std::size_t>(n), 0.0);
+  std::vector<std::uint8_t> is_landmark(static_cast<std::size_t>(n), 0);
+  for (const NodeId l : landmarks) is_landmark[static_cast<std::size_t>(l)] = 1;
+
+  for (std::size_t start = 0; start < num_landmarks; start += kChunk) {
+    const std::size_t count = std::min(kChunk, num_landmarks - start);
+    parallel_for(threads, count, [&](std::size_t k) {
+      static thread_local PathWorkspace ws;
+      const NodeId l = landmarks[start + k];
+      const PathTable table = compute_opportunistic_paths_pruned(
+          graph, l, horizon, max_hops, ws, edge_exp, floor);
+      double* row = weights.data() + k * static_cast<std::size_t>(n);
+      double sum = 0.0;
+      for (NodeId j = 0; j < n; ++j) {
+        const double w = table.weight(j);
+        row[static_cast<std::size_t>(j)] = w;
+        if (j != l) sum += w;
+      }
+      // A landmark keeps the exact own-root fold (Eq. 3 over all peers).
+      metrics[static_cast<std::size_t>(l)] = sum / static_cast<double>(n - 1);
+      DTN_CHECK_PROB(metrics[static_cast<std::size_t>(l)]);
+    });
+    DTN_COUNT_N(kSparseLandmarkTables, count);
+    for (std::size_t k = 0; k < count; ++k) {
+      const double* row = weights.data() + k * static_cast<std::size_t>(n);
+      for (NodeId j = 0; j < n; ++j) {
+        acc[static_cast<std::size_t>(j)] += row[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+
+  // Non-landmark metric: mean path weight from the landmark sample
+  // (contacts are symmetric, so p_li = p_il — the same symmetry Eq. 3's
+  // one-build-per-root evaluation already relies on).
+  for (NodeId i = 0; i < n; ++i) {
+    if (is_landmark[static_cast<std::size_t>(i)]) continue;
+    metrics[static_cast<std::size_t>(i)] =
+        acc[static_cast<std::size_t>(i)] / static_cast<double>(num_landmarks);
+    DTN_CHECK_PROB(metrics[static_cast<std::size_t>(i)]);
+  }
+  return metrics;
+}
+
+std::vector<double> reference_ncl_metrics(const ContactGraph& graph,
+                                          Time horizon, int max_hops,
+                                          int threads) {
+  const NodeId n = graph.node_count();
+  std::vector<double> metrics(static_cast<std::size_t>(n), 0.0);
+  if (n < 2) return metrics;
+  DTN_SCOPED_TIMER(kNclMetrics);
+  parallel_for(threads, static_cast<std::size_t>(n), [&](std::size_t root) {
+    const NodeId i = static_cast<NodeId>(root);
+    const PathTable table =
+        compute_opportunistic_paths_reference(graph, i, horizon, max_hops);
+    double sum = 0.0;
+    for (NodeId j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sum += table.weight(j);
+    }
+    metrics[root] = sum / static_cast<double>(n - 1);
+    DTN_CHECK_PROB(metrics[root]);
+  });
+  return metrics;
+}
+
+MetricErrorReport measure_metric_error(const ContactGraph& graph, Time horizon,
+                                       int max_hops, int threads,
+                                       const SparseMetricConfig& config,
+                                       int k) {
+  if (k < 1) throw std::invalid_argument("k must be >= 1");
+  MetricErrorReport report;
+  const std::vector<double> reference =
+      reference_ncl_metrics(graph, horizon, max_hops, threads);
+  const std::vector<double> sparse =
+      sparse_ncl_metrics(graph, horizon, max_hops, threads, config);
+  DTN_CHECK(reference.size() == sparse.size(), "metric size mismatch");
+  report.landmark_count = select_landmarks(graph, config).size();
+  report.k = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(k), reference.size()));
+  double sum = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double err = std::fabs(sparse[i] - reference[i]);
+    report.max_abs_error = std::max(report.max_abs_error, err);
+    sum += err;
+  }
+  report.mean_abs_error =
+      reference.empty() ? 0.0 : sum / static_cast<double>(reference.size());
+
+  const std::vector<NodeId> ref_top = top_k_ids(reference, report.k);
+  const std::vector<NodeId> sparse_top = top_k_ids(sparse, report.k);
+  std::size_t hits = 0;
+  for (const NodeId id : ref_top) {
+    if (std::find(sparse_top.begin(), sparse_top.end(), id) !=
+        sparse_top.end()) {
+      ++hits;
+    }
+  }
+  report.topk_overlap =
+      ref_top.empty() ? 1.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(ref_top.size());
+  return report;
+}
+
+MetricEngine metric_engine_from_string(const std::string& name) {
+  if (name == "fast") return MetricEngine::kFast;
+  if (name == "reference") return MetricEngine::kReference;
+  if (name == "sparse") return MetricEngine::kSparse;
+  throw std::invalid_argument("unknown metric engine: " + name);
+}
+
+LandmarkStrategy landmark_strategy_from_string(const std::string& name) {
+  if (name == "uniform") return LandmarkStrategy::kUniform;
+  if (name == "degree") return LandmarkStrategy::kTopDegree;
+  if (name == "rate") return LandmarkStrategy::kTopRate;
+  throw std::invalid_argument("unknown landmark strategy: " + name);
+}
+
+const char* metric_engine_name(MetricEngine engine) {
+  switch (engine) {
+    case MetricEngine::kFast: return "fast";
+    case MetricEngine::kReference: return "reference";
+    case MetricEngine::kSparse: return "sparse";
+  }
+  return "unknown";
+}
+
+const char* landmark_strategy_name(LandmarkStrategy strategy) {
+  switch (strategy) {
+    case LandmarkStrategy::kUniform: return "uniform";
+    case LandmarkStrategy::kTopDegree: return "degree";
+    case LandmarkStrategy::kTopRate: return "rate";
+  }
+  return "unknown";
+}
+
+}  // namespace dtn

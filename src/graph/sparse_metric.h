@@ -1,0 +1,126 @@
+// Sparse/approximate NCL metric engine — the scale tier (DESIGN.md §14).
+//
+// The exact Eq. 3 metric needs one single-source max-probability Dijkstra
+// per node: O(n²) work and, for an AllPairsPaths build, O(n²) memory — fine
+// for the paper's 97-node traces, a wall at 10⁵–10⁶ nodes. The sparse tier
+// trades bounded error for scale along two independent axes:
+//
+//  1. Landmark sampling: the metric of a non-landmark node i is estimated
+//     as the mean path weight from a sampled set L of landmark roots,
+//     mean_{l in L} p(l, i), instead of the mean over all n-1 other nodes.
+//     Landmark nodes keep their exact own-root fold, so the degenerate
+//     configuration (landmarks = all nodes) reproduces `ncl_metrics`
+//     bit-for-bit.
+//  2. Bounded-frontier pruning: each single-source build discards frontier
+//     candidates whose path weight falls strictly below a configurable
+//     floor. Safe because the hypoexp path weight (Eq. 2) decreases
+//     monotonically with added hops; every table entry is then either
+//     bit-identical to the unpruned build or 0, so the per-entry (and
+//     per-metric) absolute error is < the floor.
+//
+// Peak memory is O(n + one path table): landmark tables are folded into a
+// running accumulator one chunk at a time and never materialized as an
+// O(n²) table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/contact_graph.h"
+#include "graph/opportunistic_path.h"
+#include "trace/synthetic.h"
+
+namespace dtn {
+
+/// Materializes the ContactGraph of a scale-tier synthetic process
+/// (O(edges) memory; the edge list lives in src/trace, which cannot depend
+/// on src/graph, so the bridge lives here).
+ContactGraph scale_contact_graph(const ScaleSyntheticConfig& config);
+
+/// Which construction computes the Eq. 3 NCL metric vector. kFast is the
+/// exact production engine (all-roots, zero-allocation), kReference the
+/// exact legacy oracle, kSparse the landmark-sampled + frontier-pruned
+/// approximation configured by SparseMetricConfig.
+enum class MetricEngine {
+  kFast,
+  kReference,
+  kSparse,
+};
+
+/// How landmark roots are chosen. All strategies are deterministic pure
+/// functions of (graph, config): kUniform is a seeded Fisher-Yates sample,
+/// the other two are top-k by a degree/rate key with id tie-breaks.
+enum class LandmarkStrategy {
+  kUniform,      ///< seeded uniform sample without replacement
+  kTopDegree,    ///< highest contact-graph degree first
+  kTopRate,      ///< highest summed adjacent meeting rate first
+};
+
+struct SparseMetricConfig {
+  /// Number of landmark roots; <= 0 (or >= node count) means every node is
+  /// a landmark, which makes the metric exact (and, with a zero floor,
+  /// bit-identical to MetricEngine::kFast).
+  int landmark_count = 0;
+  LandmarkStrategy strategy = LandmarkStrategy::kUniform;
+  /// Frontier candidates below this weight are pruned (0 = no pruning).
+  /// Must be in [0, 1). Per-entry absolute error is < the floor.
+  double weight_floor = 0.0;
+  /// Seed for LandmarkStrategy::kUniform sampling.
+  std::uint64_t seed = 1;
+
+  /// True when this configuration is exact for `node_count` nodes:
+  /// every node is a landmark and the floor never prunes.
+  bool is_degenerate(NodeId node_count) const {
+    return (landmark_count <= 0 || landmark_count >= node_count) &&
+           weight_floor == 0.0;
+  }
+};
+
+/// Deterministic landmark selection; returns sorted ascending node ids.
+/// Size min(max(landmark_count, 0) or n, n); the full id range when the
+/// count is <= 0 or >= n.
+std::vector<NodeId> select_landmarks(const ContactGraph& graph,
+                                     const SparseMetricConfig& config);
+
+/// Eq. 3 metric vector under the sparse engine. Landmark nodes get the
+/// exact own-root fold (identical to ncl_metrics up to the weight floor);
+/// non-landmark nodes get the landmark-sampled estimate. Deterministic for
+/// any thread count; never materializes more than a fixed chunk of
+/// single-source weight rows at once.
+std::vector<double> sparse_ncl_metrics(const ContactGraph& graph, Time horizon,
+                                       int max_hops, int threads,
+                                       const SparseMetricConfig& config);
+
+/// Exact Eq. 3 metrics via the legacy allocating PathEngine::kReference
+/// construction — the oracle the measured-error harness compares against.
+/// O(n²) work; small graphs only.
+std::vector<double> reference_ncl_metrics(const ContactGraph& graph,
+                                          Time horizon, int max_hops,
+                                          int threads);
+
+/// Measured-error report of a sparse configuration vs the kReference
+/// oracle on the same graph/horizon.
+struct MetricErrorReport {
+  double max_abs_error = 0.0;   ///< max_i |sparse_i - reference_i|
+  double mean_abs_error = 0.0;  ///< mean_i |sparse_i - reference_i|
+  /// Fraction of the reference top-k NCL selection recovered by the sparse
+  /// selection (both ranked with the select_ncls tie-break rule).
+  double topk_overlap = 1.0;
+  int k = 0;
+  std::size_t landmark_count = 0;
+};
+
+MetricErrorReport measure_metric_error(const ContactGraph& graph, Time horizon,
+                                       int max_hops, int threads,
+                                       const SparseMetricConfig& config, int k);
+
+/// CLI helpers: "fast" | "reference" | "sparse", and
+/// "uniform" | "degree" | "rate". Throw std::invalid_argument on others.
+MetricEngine metric_engine_from_string(const std::string& name);
+LandmarkStrategy landmark_strategy_from_string(const std::string& name);
+const char* metric_engine_name(MetricEngine engine);
+const char* landmark_strategy_name(LandmarkStrategy strategy);
+
+}  // namespace dtn

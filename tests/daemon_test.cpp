@@ -13,6 +13,7 @@
 // ingest loop: readers must see only whole published snapshots.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <sstream>
@@ -105,6 +106,46 @@ TEST(EwmaRateEstimator, MinContactsFloorSuppressesSingletons) {
   EXPECT_EQ(est.rate(0, 3), 0.0);  // 2 contacts < floor of 3
   est.record(0, 3, 40.0);
   EXPECT_GT(est.rate(0, 3), 0.0);
+}
+
+TEST(EwmaRateEstimator, ExpiryDecayMatchesHandComputation) {
+  // alpha 0.5, expiry 100 s. Pair (0,1) meets at t = 0, 10, 20: gaps
+  // {10, 10}, EWMA 10, rate 0.1. The watermark is stream data — contacts
+  // of *other* pairs move it and with it the silence of (0,1).
+  EwmaRateEstimator est(3, 0.5, 2, 100.0);
+  est.record(0, 1, 0.0);
+  est.record(0, 1, 10.0);
+  est.record(0, 1, 20.0);
+  EXPECT_EQ(est.watermark(), 20.0);
+  EXPECT_DOUBLE_EQ(est.rate(0, 1), 0.1);
+
+  // Silence 5 <= EWMA 10: no evidence of decay, rate unchanged.
+  est.record(0, 2, 25.0);
+  EXPECT_DOUBLE_EQ(est.rate(0, 1), 0.1);
+
+  // Silence 30 in (EWMA, expiry): blend the ongoing gap in provisionally,
+  // rate = 1 / (0.5*30 + 0.5*10) = 1/20.
+  est.record(0, 2, 50.0);
+  EXPECT_EQ(est.watermark(), 50.0);
+  EXPECT_DOUBLE_EQ(est.rate(0, 1), 0.05);
+
+  // Silence 100 >= expiry: the pair has expired, rate 0.
+  est.record(0, 2, 120.0);
+  EXPECT_EQ(est.rate(0, 1), 0.0);
+
+  // The legacy estimator (expiry 0) fed the same stream never decays.
+  EwmaRateEstimator legacy(3, 0.5, 2);
+  legacy.record(0, 1, 0.0);
+  legacy.record(0, 1, 10.0);
+  legacy.record(0, 1, 20.0);
+  legacy.record(0, 2, 25.0);
+  legacy.record(0, 2, 50.0);
+  legacy.record(0, 2, 120.0);
+  EXPECT_DOUBLE_EQ(legacy.rate(0, 1), 0.1);
+}
+
+TEST(EwmaRateEstimator, RejectsNegativeExpiry) {
+  EXPECT_THROW(EwmaRateEstimator(3, 0.125, 2, -1.0), std::invalid_argument);
 }
 
 TEST(EwmaRateEstimator, WarmStartEqualsIncrementalFeed) {
@@ -300,6 +341,84 @@ TEST(DaemonRepair, NewlyConnectedComponentIsDiscovered) {
     for (NodeId node = 0; node < 4; ++node) {
       EXPECT_EQ(snap->tables[static_cast<std::size_t>(r)].weight(node),
                 reference.table(r).weight(node));
+    }
+  }
+}
+
+/// Contact stream for the expiry tests: pair 0-1 meets three times early
+/// and then goes silent while 0-2, 1-2 and 2-3 keep meeting, moving the
+/// watermark far past 0-1's expiry.
+std::vector<ContactEvent> expiring_pair_events() {
+  std::vector<ContactEvent> events;
+  events.push_back({0.0, 30.0, 0, 1});
+  events.push_back({60.0, 30.0, 0, 1});
+  events.push_back({120.0, 30.0, 0, 1});
+  for (double t = 0.0; t <= 7200.0; t += 200.0) {
+    events.push_back({t, 30.0, 2, 3});
+  }
+  for (double t = 50.0; t <= 7200.0; t += 250.0) {
+    events.push_back({t, 30.0, 1, 2});
+  }
+  for (double t = 100.0; t <= 7200.0; t += 300.0) {
+    events.push_back({t, 30.0, 0, 2});
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ContactEvent& a, const ContactEvent& b) {
+                     return a.start < b.start;
+                   });
+  return events;
+}
+
+std::unique_ptr<Daemon> expired_pair_daemon(Time expiry, int threads) {
+  DaemonConfig config = test_config();
+  config.repair_interval = 600.0;
+  config.ewma_alpha = 0.5;
+  config.rate_expiry = expiry;
+  config.threads = threads;
+  config.audit = true;  // every batch self-checks vs a reference rebuild
+  auto d = std::make_unique<Daemon>(4, config);
+  for (const ContactEvent& event : expiring_pair_events()) {
+    d->ingest(event);
+  }
+  d->repair_now();
+  return d;
+}
+
+TEST(DaemonExpiry, SilentPairEdgeIsRemovedAtRepair) {
+  const auto d = expired_pair_daemon(1800.0, 1);
+  const auto snap = d->snapshot();
+  ASSERT_TRUE(snap->ready());
+  // 0-1 last met at t=120; the watermark ended at 7200, silence 7080 far
+  // beyond the 1800 s expiry: the edge must be gone from the graph, and
+  // the audited repair already proved the tables match that graph.
+  EXPECT_EQ(snap->graph.rate(0, 1), 0.0);
+  // The pairs that kept meeting must still be present.
+  EXPECT_GT(snap->graph.rate(2, 3), 0.0);
+  EXPECT_GT(snap->graph.rate(1, 2), 0.0);
+  EXPECT_GT(snap->graph.rate(0, 2), 0.0);
+  // Node 0 stays reachable through the 0-2 edge, not through 0-1.
+  EXPECT_GT(d->path_weight(0, 3, hours(1.0)).weight, 0.0);
+}
+
+TEST(DaemonExpiry, LegacyZeroExpiryKeepsSilentEdges) {
+  const auto d = expired_pair_daemon(0.0, 1);
+  const auto snap = d->snapshot();
+  ASSERT_TRUE(snap->ready());
+  EXPECT_GT(snap->graph.rate(0, 1), 0.0);  // persists forever without expiry
+}
+
+TEST(DaemonExpiry, RemovalIsDeterministicAcrossThreadCounts) {
+  const auto serial = expired_pair_daemon(1800.0, 1);
+  const auto parallel = expired_pair_daemon(1800.0, 4);
+  const auto a = serial->snapshot();
+  const auto b = parallel->snapshot();
+  ASSERT_EQ(a->epoch, b->epoch);
+  EXPECT_EQ(a->metric, b->metric);
+  EXPECT_EQ(a->graph.edge_count(), b->graph.edge_count());
+  for (NodeId r = 0; r < 4; ++r) {
+    for (NodeId node = 0; node < 4; ++node) {
+      EXPECT_EQ(a->tables[static_cast<std::size_t>(r)].weight(node),
+                b->tables[static_cast<std::size_t>(r)].weight(node));
     }
   }
 }

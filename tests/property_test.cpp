@@ -23,10 +23,16 @@
 //    plan is a true partition (every node in exactly one shard, every
 //    contact owned by exactly one feed or the cross-shard weave) and the
 //    published epoch bound never exceeds the brute-force minimum gap
-//    between consecutive cross-shard contacts.
+//    between consecutive cross-shard contacts;
+//  * opportunistic path tables on random rate graphs — weights are
+//    monotone non-increasing along every parent chain (the invariant the
+//    sparse engine's frontier pruning is safe by);
+//  * the sparse NCL metric with an active weight floor vs the exact
+//    engine — per-node absolute error bounded by the floor.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 #include <vector>
@@ -37,6 +43,9 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "experiment/experiment.h"
+#include "graph/ncl.h"
+#include "graph/opportunistic_path.h"
+#include "graph/sparse_metric.h"
 #include "net/buffer.h"
 #include "sim/shard.h"
 #include "tests/proptest.h"
@@ -431,6 +440,75 @@ TEST(Property, ShardPlanPartitionsNodesAndContacts) {
       ASSERT_EQ(plan.epoch_bound, kNever);
     } else {
       ASSERT_LE(plan.epoch_bound, min_gap);
+    }
+  });
+}
+
+/// Random sparse rate graph with rates spanning ~3 decades, so some path
+/// weights land near any plausible pruning floor.
+ContactGraph random_contact_graph(Rng& rng) {
+  const NodeId n = static_cast<NodeId>(rng.uniform_int(6, 40));
+  ContactGraph graph(n);
+  const double edge_prob = 0.05 + 0.4 * rng.uniform();
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.uniform() >= edge_prob) continue;
+      graph.set_rate(
+          i, j, std::exp(rng.uniform(std::log(1e-5), std::log(1e-2))));
+    }
+  }
+  return graph;
+}
+
+TEST(Property, PathWeightsMonotoneAlongParentChains) {
+  run_property("path_chain_monotone", 30, [](Rng& rng, int) {
+    const ContactGraph graph = random_contact_graph(rng);
+    const Time horizon = rng.uniform(600.0, 6.0 * 3600.0);
+    const int max_hops = static_cast<int>(rng.uniform_int(2, 6));
+    const NodeId root =
+        static_cast<NodeId>(rng.uniform_int(0, graph.node_count() - 1));
+    const PathTable table =
+        compute_opportunistic_paths(graph, root, horizon, max_hops);
+    for (NodeId node = 0; node < graph.node_count(); ++node) {
+      if (node == root || !table.reachable(node)) continue;
+      // Walk the parent chain to the root: each step towards the root
+      // drops one hypoexp stage, so the weight can only grow. This is
+      // the invariant MetricEngine::kSparse's frontier pruning is safe
+      // by — a sub-floor partial path can never recover. The 1e-9 slack
+      // is the engine's own relaxation tolerance (different hypoexp
+      // evaluation algorithms can disagree in the last ulps near 1).
+      NodeId cur = node;
+      int steps = 0;
+      while (cur != root) {
+        const NodeId parent = table.entry(cur).next_hop;
+        ASSERT_NE(parent, kNoNode);
+        ASSERT_GE(table.weight(parent) + 1e-9, table.weight(cur));
+        ASSERT_EQ(table.entry(parent).hops + 1, table.entry(cur).hops);
+        cur = parent;
+        ASSERT_LE(++steps, max_hops);
+      }
+    }
+  });
+}
+
+TEST(Property, SparseMetricErrorBoundedByWeightFloor) {
+  run_property("sparse_floor_error", 25, [](Rng& rng, int) {
+    const ContactGraph graph = random_contact_graph(rng);
+    const Time horizon = rng.uniform(600.0, 6.0 * 3600.0);
+    const int max_hops = static_cast<int>(rng.uniform_int(2, 6));
+    const std::vector<double> exact =
+        ncl_metrics(graph, horizon, max_hops, 1);
+
+    SparseMetricConfig config;  // every node a landmark: floor-only error
+    config.weight_floor = 0.05 * rng.uniform();
+    const std::vector<double> approx =
+        sparse_ncl_metrics(graph, horizon, max_hops, 1, config);
+    ASSERT_EQ(exact.size(), approx.size());
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+      // Pruning only ever loses sub-floor weight, so the approximation
+      // sits below the exact metric, within the floor.
+      ASSERT_GE(exact[i] + 1e-12, approx[i]);
+      ASSERT_LE(exact[i] - approx[i], config.weight_floor + 1e-12);
     }
   });
 }

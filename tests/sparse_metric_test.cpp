@@ -1,0 +1,340 @@
+// Sparse/approximate NCL metric engine (graph/sparse_metric.h).
+//
+// The contract under test, in order of importance:
+//  1. the degenerate configuration (all landmarks, zero floor) is
+//     bit-identical to the exact engine — metrics, dispatch, and NCL
+//     selection;
+//  2. frontier pruning is floor-bounded: every pruned table entry is
+//     either bit-identical to the unpruned build or exactly 0, and the
+//     dropped weight is < the floor;
+//  3. landmark selection is a deterministic pure function of
+//     (graph, config) for every strategy;
+//  4. the measured-error harness reports honest numbers on the Table-I
+//     presets (checked-in bounds on infocom05 and mit graphs);
+//  5. the scale generator emits a canonical, deduplicated, seeded edge
+//     list and its ContactGraph bridge preserves it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/ncl.h"
+#include "graph/opportunistic_path.h"
+#include "graph/sparse_metric.h"
+#include "trace/synthetic.h"
+
+namespace dtn {
+namespace {
+
+constexpr Time kHorizon = hours(1.0);
+constexpr int kMaxHops = 4;
+
+ContactGraph preset_graph(const SyntheticTraceConfig& preset) {
+  return build_contact_graph(generate_trace(preset));
+}
+
+ContactGraph small_scale_graph(NodeId nodes) {
+  return scale_contact_graph(scale_preset(nodes));
+}
+
+TEST(SparseMetric, DegenerateConfigIsBitIdenticalToFast) {
+  const ContactGraph graph = preset_graph(infocom05_preset());
+  const std::vector<double> exact = ncl_metrics(graph, kHorizon, kMaxHops, 2);
+
+  SparseMetricConfig degenerate;
+  ASSERT_TRUE(degenerate.is_degenerate(graph.node_count()));
+  const std::vector<double> sparse =
+      sparse_ncl_metrics(graph, kHorizon, kMaxHops, 2, degenerate);
+  ASSERT_EQ(exact, sparse);
+
+  // landmark_count >= n is the same degenerate tier as <= 0.
+  SparseMetricConfig over;
+  over.landmark_count = graph.node_count() + 5;
+  ASSERT_TRUE(over.is_degenerate(graph.node_count()));
+  ASSERT_EQ(exact, sparse_ncl_metrics(graph, kHorizon, kMaxHops, 2, over));
+}
+
+TEST(SparseMetric, DegenerateDispatchAndSelectionMatchFast) {
+  const ContactGraph graph = preset_graph(infocom05_preset());
+  const std::vector<double> via_fast =
+      ncl_metrics(graph, kHorizon, kMaxHops, 2, MetricEngine::kFast, {});
+  const std::vector<double> via_sparse =
+      ncl_metrics(graph, kHorizon, kMaxHops, 2, MetricEngine::kSparse, {});
+  EXPECT_EQ(via_fast, via_sparse);
+
+  const NclSelection fast_sel = select_ncls(graph, kHorizon, 5, kMaxHops, 2);
+  const NclSelection sparse_sel = select_ncls(
+      graph, kHorizon, 5, kMaxHops, 2, MetricEngine::kSparse, {});
+  EXPECT_EQ(fast_sel.central_nodes, sparse_sel.central_nodes);
+  EXPECT_EQ(fast_sel.metric, sparse_sel.metric);
+}
+
+TEST(SparseMetric, DegenerateIsThreadCountInvariant) {
+  const ContactGraph graph = small_scale_graph(300);
+  SparseMetricConfig config;
+  const std::vector<double> serial =
+      sparse_ncl_metrics(graph, kHorizon, kMaxHops, 1, config);
+  const std::vector<double> parallel =
+      sparse_ncl_metrics(graph, kHorizon, kMaxHops, 4, config);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(SparseMetric, ChunkedTierIsThreadCountInvariant) {
+  const ContactGraph graph = small_scale_graph(300);
+  SparseMetricConfig config;
+  config.landmark_count = 37;  // deliberately not a chunk multiple
+  config.weight_floor = 1e-3;
+  const std::vector<double> serial =
+      sparse_ncl_metrics(graph, kHorizon, kMaxHops, 1, config);
+  const std::vector<double> parallel =
+      sparse_ncl_metrics(graph, kHorizon, kMaxHops, 4, config);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(SparseMetric, PrunedTableErrorIsFloorBounded) {
+  const ContactGraph graph = preset_graph(infocom05_preset());
+  const double floor = 0.05;
+  const EdgeExpTable edge_exp = build_edge_exp_table(graph, kHorizon);
+  PathWorkspace ws;
+  for (NodeId root = 0; root < graph.node_count(); ++root) {
+    const PathTable exact =
+        compute_opportunistic_paths(graph, root, kHorizon, kMaxHops, ws,
+                                    edge_exp);
+    const PathTable pruned = compute_opportunistic_paths_pruned(
+        graph, root, kHorizon, kMaxHops, ws, edge_exp, floor);
+    for (NodeId node = 0; node < graph.node_count(); ++node) {
+      const double w = exact.weight(node);
+      const double p = pruned.weight(node);
+      if (w >= floor) {
+        // Settled before any sub-floor activity: bit-identical.
+        ASSERT_EQ(w, p) << "root " << root << " node " << node;
+        ASSERT_EQ(exact.entry(node).next_hop, pruned.entry(node).next_hop);
+        ASSERT_EQ(exact.entry(node).hops, pruned.entry(node).hops);
+      } else {
+        // Either survived identically or was dropped to 0; the error is
+        // the dropped weight, itself < floor.
+        ASSERT_TRUE(p == w || p == 0.0)
+            << "root " << root << " node " << node;
+        ASSERT_LT(w - p, floor);
+      }
+    }
+  }
+}
+
+TEST(SparseMetric, ZeroFloorPruneIsBitIdentical) {
+  const ContactGraph graph = preset_graph(infocom05_preset());
+  const EdgeExpTable edge_exp = build_edge_exp_table(graph, kHorizon);
+  PathWorkspace ws;
+  for (NodeId root = 0; root < graph.node_count(); ++root) {
+    const PathTable exact =
+        compute_opportunistic_paths(graph, root, kHorizon, kMaxHops, ws,
+                                    edge_exp);
+    const PathTable pruned = compute_opportunistic_paths_pruned(
+        graph, root, kHorizon, kMaxHops, ws, edge_exp, 0.0);
+    for (NodeId node = 0; node < graph.node_count(); ++node) {
+      ASSERT_EQ(exact.weight(node), pruned.weight(node));
+    }
+  }
+}
+
+TEST(SparseMetric, LandmarkSelectionIsDeterministicAndValid) {
+  const ContactGraph graph = small_scale_graph(200);
+  for (const LandmarkStrategy strategy :
+       {LandmarkStrategy::kUniform, LandmarkStrategy::kTopDegree,
+        LandmarkStrategy::kTopRate}) {
+    SparseMetricConfig config;
+    config.landmark_count = 25;
+    config.strategy = strategy;
+    config.seed = 99;
+    const std::vector<NodeId> a = select_landmarks(graph, config);
+    const std::vector<NodeId> b = select_landmarks(graph, config);
+    ASSERT_EQ(a, b);
+    ASSERT_EQ(a.size(), 25u);
+    ASSERT_TRUE(std::is_sorted(a.begin(), a.end()));
+    ASSERT_EQ(std::set<NodeId>(a.begin(), a.end()).size(), a.size());
+    for (const NodeId id : a) {
+      ASSERT_GE(id, 0);
+      ASSERT_LT(id, graph.node_count());
+    }
+  }
+}
+
+TEST(SparseMetric, UniformLandmarksDependOnSeed) {
+  const ContactGraph graph = small_scale_graph(200);
+  SparseMetricConfig config;
+  config.landmark_count = 25;
+  config.seed = 1;
+  const std::vector<NodeId> a = select_landmarks(graph, config);
+  config.seed = 2;
+  const std::vector<NodeId> b = select_landmarks(graph, config);
+  EXPECT_NE(a, b);  // 25 of 200: equal draws are astronomically unlikely
+}
+
+TEST(SparseMetric, TopDegreeLandmarksAreTheHighestDegreeNodes) {
+  const ContactGraph graph = small_scale_graph(200);
+  SparseMetricConfig config;
+  config.landmark_count = 10;
+  config.strategy = LandmarkStrategy::kTopDegree;
+  const std::vector<NodeId> landmarks = select_landmarks(graph, config);
+
+  // Every selected node must have degree >= every unselected node's
+  // degree (the id tie-break only reorders equal-degree nodes).
+  std::size_t min_selected = graph.neighbors(landmarks.front()).size();
+  for (const NodeId id : landmarks) {
+    min_selected = std::min(min_selected, graph.neighbors(id).size());
+  }
+  const std::set<NodeId> chosen(landmarks.begin(), landmarks.end());
+  for (NodeId id = 0; id < graph.node_count(); ++id) {
+    if (chosen.count(id)) continue;
+    ASSERT_LE(graph.neighbors(id).size(), min_selected);
+  }
+}
+
+TEST(SparseMetric, ErrorReportExactWhenAllLandmarks) {
+  const ContactGraph graph = preset_graph(infocom05_preset());
+  SparseMetricConfig config;  // degenerate
+  const MetricErrorReport report =
+      measure_metric_error(graph, kHorizon, kMaxHops, 2, config, 5);
+  EXPECT_EQ(report.max_abs_error, 0.0);
+  EXPECT_EQ(report.mean_abs_error, 0.0);
+  EXPECT_EQ(report.topk_overlap, 1.0);
+  EXPECT_EQ(report.landmark_count,
+            static_cast<std::size_t>(graph.node_count()));
+}
+
+TEST(SparseMetric, FloorOnlyErrorIsBoundedByFloor) {
+  const ContactGraph graph = preset_graph(infocom05_preset());
+  SparseMetricConfig config;
+  config.weight_floor = 0.02;  // all landmarks, floor-only error
+  const MetricErrorReport report =
+      measure_metric_error(graph, kHorizon, kMaxHops, 2, config, 5);
+  EXPECT_LE(report.max_abs_error, config.weight_floor);
+}
+
+// Checked-in measured-error bounds on the Table-I preset graphs. The
+// numbers are deterministic (fixed seeds end to end), so these pin the
+// *measured* quality of a realistic sparse configuration, not just the
+// analytic floor bound.
+TEST(SparseMetric, MeasuredErrorOnInfocomAndMitPresets) {
+  for (const SyntheticTraceConfig& preset :
+       {infocom05_preset(), mit_reality_preset()}) {
+    SCOPED_TRACE(preset.name);
+    const ContactGraph graph = preset_graph(preset);
+    SparseMetricConfig config;
+    config.landmark_count = graph.node_count() / 2;
+    config.strategy = LandmarkStrategy::kTopDegree;
+    config.weight_floor = 1e-3;
+    const MetricErrorReport report =
+        measure_metric_error(graph, kHorizon, kMaxHops, 2, config, 5);
+    EXPECT_EQ(report.landmark_count,
+              static_cast<std::size_t>(config.landmark_count));
+    // Half the roots, biased to hubs: the Eq. 3 mean moves, but not far.
+    EXPECT_LT(report.max_abs_error, 0.15);
+    EXPECT_LT(report.mean_abs_error, 0.05);
+    // The top-5 NCL set must remain mostly recoverable.
+    EXPECT_GE(report.topk_overlap, 0.6);
+  }
+}
+
+TEST(ScaleSynthetic, EdgeListIsCanonicalAndSeeded) {
+  const ScaleSyntheticConfig config = scale_preset(1000);
+  const std::vector<ScaleEdge> edges = scale_edge_list(config);
+  ASSERT_FALSE(edges.empty());
+  // Canonical: u < v, strictly sorted (therefore deduplicated), in range,
+  // rates inside the configured log-uniform band.
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    ASSERT_LT(edges[i].u, edges[i].v);
+    ASSERT_GE(edges[i].u, 0);
+    ASSERT_LT(edges[i].v, config.node_count);
+    ASSERT_GE(edges[i].rate * 86400.0, config.min_rate_per_day - 1e-9);
+    ASSERT_LE(edges[i].rate * 86400.0, config.max_rate_per_day + 1e-9);
+    if (i > 0) {
+      ASSERT_TRUE(edges[i - 1].u < edges[i].u ||
+                  (edges[i - 1].u == edges[i].u &&
+                   edges[i - 1].v < edges[i].v));
+    }
+  }
+  // Dedup can only shrink the sampled target.
+  const std::size_t target = static_cast<std::size_t>(
+      config.mean_degree * static_cast<double>(config.node_count) / 2.0);
+  ASSERT_LE(edges.size(), target);
+  ASSERT_GE(edges.size(), target / 2);  // collisions are rare at this density
+
+  // Deterministic in the seed; different seed, different sample.
+  const std::vector<ScaleEdge> again = scale_edge_list(config);
+  ASSERT_EQ(edges.size(), again.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    ASSERT_EQ(edges[i].u, again[i].u);
+    ASSERT_EQ(edges[i].v, again[i].v);
+    ASSERT_EQ(edges[i].rate, again[i].rate);
+  }
+  ScaleSyntheticConfig reseeded = config;
+  reseeded.seed = config.seed + 1;
+  const std::vector<ScaleEdge> other = scale_edge_list(reseeded);
+  bool differs = other.size() != edges.size();
+  for (std::size_t i = 0; !differs && i < edges.size(); ++i) {
+    differs = other[i].u != edges[i].u || other[i].v != edges[i].v;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ScaleSynthetic, ContactGraphBridgeMatchesEdgeList) {
+  const ScaleSyntheticConfig config = scale_preset(500);
+  const std::vector<ScaleEdge> edges = scale_edge_list(config);
+  const ContactGraph graph = scale_contact_graph(config);
+  ASSERT_EQ(graph.node_count(), config.node_count);
+  ASSERT_EQ(graph.edge_count(), edges.size());
+  for (const ScaleEdge& e : edges) {
+    ASSERT_EQ(graph.rate(e.u, e.v), e.rate);
+    ASSERT_EQ(graph.rate(e.v, e.u), e.rate);
+  }
+}
+
+TEST(ScaleSynthetic, TraceIsDeterministicAndSorted) {
+  ScaleSyntheticConfig config = scale_preset(300);
+  config.duration = days(0.25);
+  const ContactTrace a = generate_scale_trace(config);
+  const ContactTrace b = generate_scale_trace(config);
+  ASSERT_EQ(a.node_count(), config.node_count);
+  ASSERT_FALSE(a.events().empty());
+  ASSERT_EQ(a.events(), b.events());
+  for (std::size_t i = 1; i < a.events().size(); ++i) {
+    ASSERT_LE(a.events()[i - 1].start, a.events()[i].start);
+  }
+  for (const ContactEvent& e : a.events()) {
+    ASSERT_GE(e.start, 0.0);
+    ASSERT_LT(e.start, config.duration);
+    ASSERT_GT(e.duration, 0.0);
+  }
+}
+
+TEST(SparseMetric, StringRoundTrips) {
+  EXPECT_EQ(metric_engine_from_string("fast"), MetricEngine::kFast);
+  EXPECT_EQ(metric_engine_from_string("reference"), MetricEngine::kReference);
+  EXPECT_EQ(metric_engine_from_string("sparse"), MetricEngine::kSparse);
+  EXPECT_STREQ(metric_engine_name(MetricEngine::kSparse), "sparse");
+  EXPECT_THROW(metric_engine_from_string("nope"), std::invalid_argument);
+
+  EXPECT_EQ(landmark_strategy_from_string("uniform"),
+            LandmarkStrategy::kUniform);
+  EXPECT_EQ(landmark_strategy_from_string("degree"),
+            LandmarkStrategy::kTopDegree);
+  EXPECT_EQ(landmark_strategy_from_string("rate"), LandmarkStrategy::kTopRate);
+  EXPECT_STREQ(landmark_strategy_name(LandmarkStrategy::kTopRate), "rate");
+  EXPECT_THROW(landmark_strategy_from_string("nope"), std::invalid_argument);
+}
+
+TEST(SparseMetric, RejectsInvalidFloor) {
+  const ContactGraph graph = small_scale_graph(100);
+  SparseMetricConfig config;
+  config.weight_floor = 1.0;
+  EXPECT_THROW(sparse_ncl_metrics(graph, kHorizon, kMaxHops, 1, config),
+               std::invalid_argument);
+  config.weight_floor = -0.1;
+  EXPECT_THROW(sparse_ncl_metrics(graph, kHorizon, kMaxHops, 1, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dtn

@@ -47,6 +47,9 @@ namespace {
       "  --drift X          relative rate-drift repair threshold [0.2]\n"
       "  --interval SECS    repair batch interval in stream time [3600]\n"
       "  --alpha A          EWMA weight of the newest inter-contact gap\n"
+      "  --expiry SECS      decay estimates of silent pairs and drop their\n"
+      "                     edges after SECS of stream-time silence\n"
+      "                     [0 = rates persist forever]\n"
       "  --threads N        repair parallelism (0 = hardware) [1]\n"
       "  --audit            check every repair batch vs reference rebuild\n"
       "  --stats            print daemon counters at exit\n"
@@ -92,6 +95,8 @@ Options parse_args(int argc, char** argv) {
       options.config.repair_interval = std::atof(value(i));
     } else if (arg == "--alpha") {
       options.config.ewma_alpha = std::atof(value(i));
+    } else if (arg == "--expiry") {
+      options.config.rate_expiry = std::atof(value(i));
     } else if (arg == "--threads") {
       options.config.threads = std::atoi(value(i));
     } else if (arg == "--audit") {
@@ -294,6 +299,18 @@ bool self_test() {
     variant.drift_threshold = drift;
     DTND_CHECK(!replay_output(trace, variant, script.str()).empty());
   }
+
+  // Estimator expiry: silent pairs decay and their edges drop, and every
+  // audited batch still matches a from-scratch reference rebuild of the
+  // post-removal graph. Determinism must hold across thread counts too.
+  daemon::DaemonConfig expiring = config;
+  expiring.rate_expiry = hours(6.0);
+  const std::string expired = replay_output(trace, expiring, script.str());
+  DTND_CHECK(!expired.empty());
+  DTND_CHECK(replay_output(trace, expiring, script.str()) == expired);
+  daemon::DaemonConfig expiring_threaded = expiring;
+  expiring_threaded.threads = 0;
+  DTND_CHECK(replay_output(trace, expiring_threaded, script.str()) == expired);
 
   std::printf("dtnd self-test OK\n");
   return true;

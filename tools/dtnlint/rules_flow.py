@@ -608,7 +608,10 @@ class DaemonSnapshotGuardRule(Rule):
 # stays for the legacy shim) to every allocating std container and to
 # src/sim/, with real scope accuracy: only declarations of owning objects
 # in loop bodies fire — references, pointers, and containers hoisted out
-# of the loop do not.
+# of the loop do not. The src/graph/ scope also covers the sparse metric
+# engine (sparse_metric.cpp): its per-landmark Dijkstra loop must reuse
+# one PathWorkspace across all landmark roots, not construct per-root
+# frontier containers.
 
 _ALLOC_CONTAINERS = {
     "vector", "deque", "list", "map", "set", "multimap", "multiset",
@@ -623,7 +626,8 @@ class HotLoopAllocRule(Rule):
     message = (
         "allocating container constructed inside a loop body on an engine "
         "fast path; hoist it into a PathWorkspace / ContactWorkspace "
-        "scratch that is reused across iterations (PR 5/6 contract: the "
+        "scratch that is reused across iterations (PR 5/6 contract, and "
+        "the sparse landmark loop reuses one workspace across roots: the "
         "hot loops run allocation-free)"
     )
 

@@ -13,14 +13,17 @@
 // iMote pairwise log, .dtntrace binary); --format forces one. tracetool
 // never touches sidecar caches unless --cache is given, so it is safe to
 // point at read-only datasets.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
 #include "daemon/rate_estimator.h"
+#include "trace/synthetic.h"
 #include "trace/trace_io.h"
 #include "traceio/binary.h"
 #include "traceio/cache.h"
@@ -41,11 +44,16 @@ namespace {
       "  tracetool convert <in> <out>   convert between formats; the output\n"
       "                                 extension picks .dtntrace or CSV\n"
       "  tracetool validate <file>      strict parse, file:line diagnostics\n"
+      "  tracetool synth <out>          generate a community-structured\n"
+      "                                 scale trace (O(edges), DESIGN.md\n"
+      "                                 \xc2\xa7""14); extension picks the format\n"
       "  tracetool --self-test          run built-in round-trip checks\n"
       "options:\n"
       "  --format F   force the input format: csv|one|imote|binary\n"
       "  --cache      allow the .dtntrace sidecar cache (default: bypass)\n"
-      "  --strict     strict parsing for stats/convert (validate always is)\n");
+      "  --strict     strict parsing for stats/convert (validate always is)\n"
+      "synth options (0 keeps the scale_preset value):\n"
+      "  --nodes N --communities C --degree D --days X --seed S\n");
   std::exit(2);
 }
 
@@ -56,6 +64,12 @@ struct ToolOptions {
   bool use_cache = false;
   bool strict = false;
   bool pairs = false;
+  // synth knobs; 0 keeps the scale_preset default for that field.
+  NodeId synth_nodes = 10000;
+  int synth_communities = 0;
+  double synth_degree = 0.0;
+  double synth_days = 0.0;
+  std::uint64_t synth_seed = 0;
 };
 
 ToolOptions parse_args(int argc, char** argv) {
@@ -71,6 +85,22 @@ ToolOptions parse_args(int argc, char** argv) {
       options.strict = true;
     } else if (arg == "--pairs") {
       options.pairs = true;
+    } else if (arg == "--nodes") {
+      if (i + 1 >= argc) usage();
+      options.synth_nodes = static_cast<NodeId>(std::atol(argv[++i]));
+    } else if (arg == "--communities") {
+      if (i + 1 >= argc) usage();
+      options.synth_communities = std::atoi(argv[++i]);
+    } else if (arg == "--degree") {
+      if (i + 1 >= argc) usage();
+      options.synth_degree = std::atof(argv[++i]);
+    } else if (arg == "--days") {
+      if (i + 1 >= argc) usage();
+      options.synth_days = std::atof(argv[++i]);
+    } else if (arg == "--seed") {
+      if (i + 1 >= argc) usage();
+      options.synth_seed =
+          static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--self-test") {
       options.command = "self-test";
     } else if (arg == "--help" || arg == "-h") {
@@ -121,6 +151,60 @@ void write_pair_rates(const ContactTrace& trace, std::ostream& out) {
   }
 }
 
+/// Node-degree (distinct partners) and per-pair contact-rate distribution
+/// summaries. These are the two numbers the sparse metric engine is tuned
+/// by (DESIGN.md §14): the degree distribution bounds the Dijkstra ball a
+/// landmark explores, and the pair-rate distribution locates a weight
+/// floor that prunes noise pairs without touching the signal. Fixed
+/// formats and canonical pair order, so the bytes golden-test.
+void write_trace_distributions(const ContactTrace& trace, std::ostream& out) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(trace.events().size());
+  for (const ContactEvent& e : trace.events()) {
+    pairs.emplace_back(std::min(e.a, e.b), std::max(e.a, e.b));
+  }
+  std::sort(pairs.begin(), pairs.end());
+
+  std::vector<double> degree(static_cast<std::size_t>(trace.node_count()),
+                             0.0);
+  std::vector<double> rates;
+  const double span_days = std::max(trace.duration(), 1.0) / 86400.0;
+  for (std::size_t i = 0; i < pairs.size();) {
+    std::size_t j = i;
+    while (j < pairs.size() && pairs[j] == pairs[i]) ++j;
+    degree[static_cast<std::size_t>(pairs[i].first)] += 1.0;
+    degree[static_cast<std::size_t>(pairs[i].second)] += 1.0;
+    rates.push_back(static_cast<double>(j - i) / span_days);
+    i = j;
+  }
+
+  char line[200];
+  RunningStats deg;
+  for (double d : degree) deg.add(d);
+  if (degree.empty()) {
+    out << "node degree:   none\n";
+  } else {
+    std::snprintf(line, sizeof(line),
+                  "node degree:   min %.0f  p50 %.1f  p90 %.1f  max %.0f  "
+                  "mean %.3f\n",
+                  deg.min(), percentile(degree, 0.50), percentile(degree, 0.90),
+                  deg.max(), deg.mean());
+    out << line;
+  }
+  if (rates.empty()) {
+    out << "pair rate/day: none\n";
+  } else {
+    RunningStats rs;
+    for (double r : rates) rs.add(r);
+    std::snprintf(line, sizeof(line),
+                  "pair rate/day: pairs %zu  p50 %.3f  p90 %.3f  p99 %.3f  "
+                  "max %.3f\n",
+                  rates.size(), percentile(rates, 0.50),
+                  percentile(rates, 0.90), percentile(rates, 0.99), rs.max());
+    out << line;
+  }
+}
+
 int cmd_stats(const ToolOptions& options) {
   if (options.paths.size() != 1) usage();
   const ContactTrace trace = load(options, options.paths[0]);
@@ -150,6 +234,11 @@ int cmd_stats(const ToolOptions& options) {
   std::printf("total contact time: %.1f hours\n", total_contact_time / 3600.0);
   print_percentiles("contact duration  ", std::move(durations));
   print_percentiles("inter-contact gap ", std::move(gaps));
+  {
+    std::ostringstream dist;
+    write_trace_distributions(trace, dist);
+    std::fputs(dist.str().c_str(), stdout);
+  }
   if (options.pairs) {
     std::ostringstream pairs;
     write_pair_rates(trace, pairs);
@@ -158,11 +247,10 @@ int cmd_stats(const ToolOptions& options) {
   return 0;
 }
 
-int cmd_convert(const ToolOptions& options) {
-  if (options.paths.size() != 2) usage();
-  const std::string& in_path = options.paths[0];
-  const std::string& out_path = options.paths[1];
-  const ContactTrace trace = load(options, in_path);
+/// Writes `trace` to `out_path`, picking .dtntrace binary or CSV by the
+/// extension; returns true for binary.
+bool save_trace_by_extension(const ContactTrace& trace,
+                             const std::string& out_path) {
   const bool binary_out =
       out_path.size() >= 9 &&
       out_path.compare(out_path.size() - 9, 9, ".dtntrace") == 0;
@@ -171,9 +259,38 @@ int cmd_convert(const ToolOptions& options) {
   } else {
     save_trace_csv(trace, out_path);
   }
+  return binary_out;
+}
+
+int cmd_convert(const ToolOptions& options) {
+  if (options.paths.size() != 2) usage();
+  const std::string& in_path = options.paths[0];
+  const std::string& out_path = options.paths[1];
+  const ContactTrace trace = load(options, in_path);
+  const bool binary_out = save_trace_by_extension(trace, out_path);
   std::printf("%s: %d nodes, %zu contacts -> %s (%s)\n", in_path.c_str(),
               trace.node_count(), trace.events().size(), out_path.c_str(),
               binary_out ? "binary" : "csv");
+  return 0;
+}
+
+int cmd_synth(const ToolOptions& options) {
+  if (options.paths.size() != 1) usage();
+  const std::string& out_path = options.paths[0];
+  ScaleSyntheticConfig config = scale_preset(options.synth_nodes);
+  if (options.synth_communities > 0) {
+    config.community_count = options.synth_communities;
+  }
+  if (options.synth_degree > 0.0) config.mean_degree = options.synth_degree;
+  if (options.synth_days > 0.0) config.duration = days(options.synth_days);
+  if (options.synth_seed != 0) config.seed = options.synth_seed;
+  const ContactTrace trace = generate_scale_trace(config);
+  const bool binary_out = save_trace_by_extension(trace, out_path);
+  std::printf(
+      "%s: %d nodes, %d communities, %zu contacts, %.2f days -> %s (%s)\n",
+      config.name.c_str(), trace.node_count(), config.community_count,
+      trace.events().size(), config.duration / 86400.0, out_path.c_str(),
+      binary_out ? "binary" : "csv");
   return 0;
 }
 
@@ -287,6 +404,37 @@ int run_self_test() {
       "1-2  3  150.000  300.000  288.000000\n";
   TT_CHECK(pair_out.str() == pair_golden);
 
+  // stats distributions golden, hand-computed on the same trace. Every
+  // node has two distinct partners. Span = 410 s (last contact *end*), so
+  // pair 0-1 with 3 contacts runs at 3 * 86400 / 410 = 632.195
+  // contacts/day, pair 0-2 at 210.732, pair 1-2 at 632.195: sorted rates
+  // {210.7, 632.2, 632.2} put every reported percentile at 632.195.
+  std::ostringstream dist_out;
+  write_trace_distributions(pair_trace, dist_out);
+  const std::string dist_golden =
+      "node degree:   min 2  p50 2.0  p90 2.0  max 2  mean 2.000\n"
+      "pair rate/day: pairs 3  p50 632.195  p90 632.195  p99 632.195  "
+      "max 632.195\n";
+  TT_CHECK(dist_out.str() == dist_golden);
+
+  // synth path: the scale generator is deterministic in the seed and its
+  // CSV round-trips byte-identically.
+  ScaleSyntheticConfig scale = scale_preset(200);
+  scale.duration = days(0.5);
+  const ContactTrace scale_a = generate_scale_trace(scale);
+  const ContactTrace scale_b = generate_scale_trace(scale);
+  TT_CHECK(scale_a.node_count() == 200);
+  TT_CHECK(!scale_a.events().empty());
+  TT_CHECK(scale_a.events() == scale_b.events());
+  std::ostringstream scale_csv;
+  write_trace_csv(scale_a, scale_csv);
+  std::istringstream scale_csv_in(scale_csv.str());
+  const ContactTrace scale_back =
+      read_trace_csv(scale_csv_in, scale_a.name(), scale_a.node_count());
+  std::ostringstream scale_csv2;
+  write_trace_csv(scale_back, scale_csv2);
+  TT_CHECK(scale_csv.str() == scale_csv2.str());
+
   // Streaming cursor == materialized vector.
   std::istringstream bin_in2(bin.str());
   traceio::BinaryDecoder decoder(bin_in2, "selftest.dtntrace");
@@ -307,6 +455,7 @@ int main(int argc, char** argv) {
     if (options.command == "stats") return cmd_stats(options);
     if (options.command == "convert") return cmd_convert(options);
     if (options.command == "validate") return cmd_validate(options);
+    if (options.command == "synth") return cmd_synth(options);
     if (options.command == "self-test") return run_self_test();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "tracetool: %s\n", error.what());
